@@ -1,0 +1,266 @@
+// Package repro's top-level benchmarks regenerate every data-bearing table
+// and figure of "Wide-Scale Data Stream Management" (Logothetis & Yocum,
+// USENIX ATC 2008), one benchmark per figure, plus ablation benches for the
+// design choices DESIGN.md calls out.
+//
+// Benchmarks run the Quick experiment configuration by default so that
+// `go test -bench=. -benchmem` finishes in minutes; set -figscale=full to
+// run the paper-scale parameters. Headline metrics are attached via
+// b.ReportMetric, and the full tables print once per benchmark under -v.
+package repro
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eventsim"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/mortar"
+	"repro/internal/netem"
+	"repro/internal/plan"
+	"repro/internal/treesim"
+	"repro/internal/tslist"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+var figScale = flag.String("figscale", "quick", "experiment scale: quick or full")
+
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 42, Quick: *figScale != "full"}
+}
+
+var printOnce sync.Map
+
+// runFigure executes a figure's runner b.N times (the work is dominated by
+// the first run; subsequent runs re-use nothing, keeping timings honest)
+// and prints its table once.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	run, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tab *experiments.Table
+	for i := 0; i < b.N; i++ {
+		tab = run(benchOptions())
+	}
+	if _, dup := printOnce.LoadOrStore(id, true); !dup && tab != nil {
+		var w io.Writer = os.Stdout
+		tab.Print(w)
+	}
+}
+
+func BenchmarkFigure1(b *testing.B)  { runFigure(b, "fig1") }
+func BenchmarkFigure9(b *testing.B)  { runFigure(b, "fig9") }
+func BenchmarkFigure10(b *testing.B) { runFigure(b, "fig10") }
+func BenchmarkFigure11(b *testing.B) { runFigure(b, "fig11") }
+func BenchmarkFigure12(b *testing.B) { runFigure(b, "fig12") }
+func BenchmarkFigure13(b *testing.B) { runFigure(b, "fig13") }
+func BenchmarkFigure14(b *testing.B) { runFigure(b, "fig14") }
+func BenchmarkFigure15(b *testing.B) { runFigure(b, "fig15") }
+func BenchmarkFigure16(b *testing.B) { runFigure(b, "fig16") }
+func BenchmarkFigure17(b *testing.B) { runFigure(b, "fig17") }
+func BenchmarkFigure18(b *testing.B) { runFigure(b, "fig18") }
+
+// --- Ablations ---
+
+// ablationRun executes a short failure scenario with the given config and
+// returns steady-state completeness (% of live peers).
+func ablationRun(b *testing.B, cfg mortar.Config, d int, failFrac float64) float64 {
+	b.Helper()
+	sim := eventsim.New(42)
+	rng := rand.New(rand.NewSource(42))
+	p := netem.PaperTopology(170)
+	topo := netem.GenerateTransitStub(p, rng)
+	net := netem.New(sim, topo)
+	fab, err := mortar.NewFabric(net, nil, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta := mortar.QueryMeta{
+		Name:      "abl",
+		Seq:       1,
+		OpName:    "sum",
+		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+		Root:      0,
+		IssuedSim: sim.Now(),
+	}
+	pts := randomPoints(170, rng)
+	def, err := fab.Compile(meta, nil, pts, 16, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fab.Install(0, def); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 170; i++ {
+		i := i
+		phase := time.Duration(rng.Int63n(int64(time.Second)))
+		sim.After(phase, func() {
+			sim.Every(time.Second, func() { fab.Inject(i, tuple.Raw{Vals: []float64{1}}) })
+		})
+	}
+	var counts []float64
+	fab.OnResult = func(r mortar.Result) {
+		if sim.Now() > 45*time.Second {
+			counts = append(counts, float64(r.Count))
+		}
+	}
+	sim.RunFor(20 * time.Second)
+	want := int(failFrac * 170)
+	down := 0
+	for down < want {
+		v := 1 + rng.Intn(169)
+		if !fab.Down(v) {
+			fab.SetDown(v, true)
+			down++
+		}
+	}
+	sim.RunFor(40 * time.Second)
+	return metrics.Completeness(int(metrics.Mean(counts)), fab.LiveCount())
+}
+
+func randomPoints(n int, rng *rand.Rand) []cluster.Point {
+	out := make([]cluster.Point, n)
+	for i := range out {
+		out[i] = cluster.Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	return out
+}
+
+// BenchmarkAblationRoutingStages measures how much each stage of the
+// multipath policy (same-tree, up*, flex, flex-down) contributes to
+// completeness under 30% failures.
+func BenchmarkAblationRoutingStages(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for stage := 1; stage <= 4; stage++ {
+			cfg := mortar.DefaultConfig()
+			cfg.MaxStage = stage
+			c := ablationRun(b, cfg, 4, 0.3)
+			b.ReportMetric(c, "completeness%/stage"+string(rune('0'+stage)))
+		}
+	}
+}
+
+// BenchmarkAblationTTLDown sweeps the flex-down TTL the paper fixes at 3.
+func BenchmarkAblationTTLDown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, ttl := range []int{0, 1, 3, 6} {
+			cfg := mortar.DefaultConfig()
+			cfg.TTLDownMax = ttl
+			c := ablationRun(b, cfg, 4, 0.3)
+			b.ReportMetric(c, "completeness%/ttl"+string(rune('0'+ttl)))
+		}
+	}
+}
+
+// BenchmarkAblationHeartbeat sweeps the heartbeat period (paper: 2s);
+// faster detection recovers sooner but costs control traffic.
+func BenchmarkAblationHeartbeat(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, period := range []time.Duration{time.Second, 2 * time.Second, 4 * time.Second} {
+			cfg := mortar.DefaultConfig()
+			cfg.HeartbeatPeriod = period
+			c := ablationRun(b, cfg, 4, 0.3)
+			b.ReportMetric(c, "completeness%/hb"+period.String())
+		}
+	}
+}
+
+// BenchmarkAblationSiblings compares derived sibling trees against fully
+// random sibling sets: random siblings have more path diversity but lose
+// the primary's clustering (Figure 17's tension).
+func BenchmarkAblationSiblings(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	sim := eventsim.New(1)
+	topo := netem.GenerateTransitStub(netem.PaperTopology(179), rng)
+	net := netem.New(sim, topo)
+	hosts := topo.Hosts()
+	oneWay := func(x, y int) time.Duration { return net.Latency(hosts[x], hosts[y]) }
+	pts := randomPoints(179, rng)
+	for i := 0; i < b.N; i++ {
+		var derived, random float64
+		const trials = 10
+		for k := 0; k < trials; k++ {
+			primary := plan.BuildPrimary(pts, 0, 8, rng)
+			sib := plan.DeriveSibling(primary, rng)
+			rnd := plan.BuildRandom(179, 0, 8, rng)
+			derived += float64(plan.Percentile(plan.LatencyToRoot(sib, oneWay), 90)) / float64(time.Millisecond)
+			random += float64(plan.Percentile(plan.LatencyToRoot(rnd, oneWay), 90)) / float64(time.Millisecond)
+		}
+		b.ReportMetric(derived/trials, "p90ms/derived")
+		b.ReportMetric(random/trials, "p90ms/random")
+	}
+}
+
+// BenchmarkAblationNetDistAlpha sweeps the netDist EWMA weight (paper:
+// alpha = 10% "worked well in practice").
+func BenchmarkAblationNetDistAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, alpha := range []float64{0.02, 0.1, 0.5} {
+			cfg := mortar.DefaultConfig()
+			cfg.NetDistAlpha = alpha
+			c := ablationRun(b, cfg, 4, 0.3)
+			b.ReportMetric(c, fmt.Sprintf("completeness%%/alpha%.2f", alpha))
+		}
+	}
+}
+
+// --- Microbenchmarks of the hot data structures ---
+
+func BenchmarkTSListInsert(b *testing.B) {
+	l := tslist.New(func(a, c tuple.Value) tuple.Value {
+		if a == nil {
+			return c
+		}
+		if c == nil {
+			return a
+		}
+		return a.(float64) + c.(float64)
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb := time.Duration(i%64) * time.Second
+		l.Insert(tuple.Summary{
+			Index: tuple.Index{TB: tb, TE: tb + time.Second},
+			Value: float64(1), Count: 1,
+		}, 0, time.Duration(i+1)*time.Second)
+		if l.Len() > 128 {
+			l.PopAll()
+		}
+	}
+}
+
+func BenchmarkDynamicStripingSim(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := treesim.Params{Nodes: 10000, BF: 32, D: 4, LinkFail: 0.2, Discipline: treesim.DynamicStriping}
+	for i := 0; i < b.N; i++ {
+		treesim.Completeness(p, rng)
+	}
+}
+
+func BenchmarkPlanPrimary680(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(680, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		plan.BuildPrimary(pts, 0, 16, rng)
+	}
+}
+
+func BenchmarkClockSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	d := vclock.PlanetLab(1)
+	for i := 0; i < b.N; i++ {
+		d.Sample(rng)
+	}
+}

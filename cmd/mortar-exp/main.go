@@ -1,0 +1,53 @@
+// Command mortar-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mortar-exp -list
+//	mortar-exp -fig fig12 [-quick] [-seed 7]
+//	mortar-exp -all -quick
+//
+// Full mode uses the paper's parameters (680 nodes, 400 trials, ...);
+// -quick shrinks everything so the whole suite finishes in well under a
+// minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "figure to regenerate (fig1, fig9, ..., fig18)")
+		all   = flag.Bool("all", false, "regenerate every figure")
+		list  = flag.Bool("list", false, "list available figures")
+		quick = flag.Bool("quick", false, "shrink the experiment for a fast run")
+		seed  = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All {
+			fmt.Printf("%-7s %s\n", e.ID, e.Desc)
+		}
+	case *all:
+		opt := experiments.Options{Seed: *seed, Quick: *quick}
+		for _, e := range experiments.All {
+			e.Run(opt).Print(os.Stdout)
+		}
+	case *fig != "":
+		run, err := experiments.Find(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run(experiments.Options{Seed: *seed, Quick: *quick}).Print(os.Stdout)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

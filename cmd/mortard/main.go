@@ -1,0 +1,77 @@
+// Command mortard runs an emulated Mortar federation and executes an MSL
+// program against it, streaming root results to stdout. It is the
+// "daemon"-shaped entry point: the same fabric the experiments use, driven
+// by a user-supplied query program.
+//
+// Usage:
+//
+//	mortard -peers 200 -duration 60s -msl query.msl
+//	mortard -peers 100 -fail 0.2   # with 20% of peers disconnected
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/federation"
+	"repro/internal/msl"
+	"repro/internal/netem"
+	"repro/internal/tuple"
+)
+
+func main() {
+	var (
+		peers    = flag.Int("peers", 100, "federation size")
+		duration = flag.Duration("duration", 30*time.Second, "virtual run time")
+		program  = flag.String("msl", "", "MSL program file (default: a count query)")
+		fail     = flag.Float64("fail", 0, "fraction of peers to disconnect mid-run")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	src := "query peers as count() from sensors window time 1s slide 1s trees 4 bf 16"
+	if *program != "" {
+		b, err := os.ReadFile(*program)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(b)
+	}
+	prog, err := msl.Parse(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sim := eventsim.New(*seed)
+	rng := rand.New(rand.NewSource(*seed))
+	topo := netem.GenerateTransitStub(netem.PaperTopology(*peers), rng)
+	net := netem.New(sim, topo)
+	fed, err := federation.New(net, prog, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fed.PrintResults(os.Stdout)
+	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
+		return tuple.Raw{Vals: []float64{1}}
+	}, rng)
+
+	if *fail > 0 {
+		sim.After(*duration/3, func() {
+			n := int(*fail * float64(*peers))
+			fmt.Printf("# t=%v disconnecting %d peers\n", sim.Now(), n)
+			fed.FailRandom(n, rng)
+		})
+		sim.After(2**duration/3, func() {
+			fmt.Printf("# t=%v reconnecting all peers\n", sim.Now())
+			fed.RecoverAll()
+		})
+	}
+	sim.RunUntil(*duration)
+}

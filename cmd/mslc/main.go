@@ -1,0 +1,49 @@
+// Command mslc parses and checks Mortar Stream Language programs, printing
+// the compiled statements.
+//
+// Usage:
+//
+//	mslc query.msl
+//	echo 'query q as sum(0) from sensors window time 1s slide 1s' | mslc
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/msl"
+)
+
+func main() {
+	var src []byte
+	var err error
+	if len(os.Args) > 1 {
+		src, err = os.ReadFile(os.Args[1])
+	} else {
+		src, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := msl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, st := range prog.Statements {
+		fmt.Printf("query %-12s op=%s(%v) source=%s", st.Name, st.Op, st.Args, st.Source)
+		if st.FilterKey != "" {
+			fmt.Printf(" where key=%q", st.FilterKey)
+		}
+		fmt.Printf(" window=%+v", st.Window)
+		if st.Trees > 0 {
+			fmt.Printf(" trees=%d", st.Trees)
+		}
+		if st.BF > 0 {
+			fmt.Printf(" bf=%d", st.BF)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,135 @@
+// Package central implements the centralized stream processor baseline of
+// Figures 9-10: all raw streams are shipped to a single node and pass
+// through a bounded tuple re-order buffer (the paper configured
+// StreamBase's BSort operator to hold 5k tuples) before tumbling-window
+// aggregation on the tuples' source timestamps. Because windows are keyed
+// by the unsynchronized source clocks, clock offset sends tuples to the
+// wrong windows; because the buffer is a fixed size, result latency stays
+// nearly constant regardless of offset.
+package central
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Tuple is one raw tuple as it arrives at the central processor.
+type Tuple struct {
+	// SourceTS is the timestamp assigned by the source's local clock.
+	SourceTS time.Duration
+	// TrueWindow is ground-truth instrumentation: the window the tuple
+	// actually belongs to. It does not influence processing.
+	TrueWindow int64
+	// Value is the tuple's payload.
+	Value float64
+}
+
+// WindowResult is one closed window.
+type WindowResult struct {
+	Window int64 // source-timestamp window index
+	Sum    float64
+	Count  int
+	// ByTrueWindow histograms the constituents' ground-truth windows, for
+	// the true-completeness metric.
+	ByTrueWindow map[int64]int
+	// ClosedAt is the (true) arrival time at which the window closed.
+	ClosedAt time.Duration
+}
+
+// Processor is the centralized engine.
+type Processor struct {
+	slide   time.Duration
+	cap     int
+	buf     tupleHeap // BSort re-order buffer, min-heap on SourceTS
+	open    map[int64]*WindowResult
+	emitted map[int64]bool
+	out     []WindowResult
+	// watermark is the highest SourceTS popped from the buffer; windows
+	// ending at or before it close.
+	watermark time.Duration
+	first     bool
+}
+
+// New creates a processor with the given window slide and BSort capacity.
+func New(slide time.Duration, bufCap int) *Processor {
+	return &Processor{
+		slide:   slide,
+		cap:     bufCap,
+		open:    map[int64]*WindowResult{},
+		emitted: map[int64]bool{},
+	}
+}
+
+// Ingest accepts a tuple at (true) time now. When the re-order buffer
+// exceeds its capacity, the oldest tuples flow into window processing.
+func (p *Processor) Ingest(t Tuple, now time.Duration) {
+	heap.Push(&p.buf, t)
+	for p.buf.Len() > p.cap {
+		p.pop(now)
+	}
+}
+
+func (p *Processor) pop(now time.Duration) {
+	t := heap.Pop(&p.buf).(Tuple)
+	if !p.first || t.SourceTS > p.watermark {
+		p.watermark = t.SourceTS
+		p.first = true
+	}
+	w := int64(t.SourceTS / p.slide)
+	if t.SourceTS < 0 && t.SourceTS%p.slide != 0 {
+		w--
+	}
+	if p.emitted[w] {
+		return // window already closed; BSort could not reorder far enough
+	}
+	win, ok := p.open[w]
+	if !ok {
+		win = &WindowResult{Window: w, ByTrueWindow: map[int64]int{}}
+		p.open[w] = win
+	}
+	win.Sum += t.Value
+	win.Count++
+	win.ByTrueWindow[t.TrueWindow]++
+	// Close every open window whose end precedes the watermark.
+	for idx, ow := range p.open {
+		if time.Duration(idx+1)*p.slide <= p.watermark {
+			ow.ClosedAt = now
+			p.out = append(p.out, *ow)
+			p.emitted[idx] = true
+			delete(p.open, idx)
+		}
+	}
+}
+
+// Flush drains the buffer and closes all windows (end of experiment).
+func (p *Processor) Flush(now time.Duration) {
+	for p.buf.Len() > 0 {
+		p.pop(now)
+	}
+	for idx, ow := range p.open {
+		ow.ClosedAt = now
+		p.out = append(p.out, *ow)
+		p.emitted[idx] = true
+		delete(p.open, idx)
+	}
+}
+
+// Results returns the windows closed so far, in close order.
+func (p *Processor) Results() []WindowResult { return p.out }
+
+// Buffered returns the number of tuples waiting in the re-order buffer.
+func (p *Processor) Buffered() int { return p.buf.Len() }
+
+type tupleHeap []Tuple
+
+func (h tupleHeap) Len() int           { return len(h) }
+func (h tupleHeap) Less(i, j int) bool { return h[i].SourceTS < h[j].SourceTS }
+func (h tupleHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tupleHeap) Push(x any)        { *h = append(*h, x.(Tuple)) }
+func (h *tupleHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,102 @@
+package central
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInOrderProcessing(t *testing.T) {
+	p := New(time.Second, 10)
+	for i := 0; i < 30; i++ {
+		ts := time.Duration(i) * 250 * time.Millisecond
+		p.Ingest(Tuple{SourceTS: ts, TrueWindow: int64(ts / time.Second), Value: 1},
+			ts)
+	}
+	p.Flush(10 * time.Second)
+	res := p.Results()
+	if len(res) < 6 {
+		t.Fatalf("only %d windows", len(res))
+	}
+	for _, w := range res[:6] {
+		if w.Count != 4 || w.Sum != 4 {
+			t.Fatalf("window %d: count %d sum %v, want 4", w.Window, w.Count, w.Sum)
+		}
+		if w.ByTrueWindow[w.Window] != 4 {
+			t.Fatalf("window %d: true-window histogram %v", w.Window, w.ByTrueWindow)
+		}
+	}
+}
+
+func TestReorderWithinBuffer(t *testing.T) {
+	p := New(time.Second, 100)
+	// Two tuples out of order by 500ms: the buffer reorders them.
+	p.Ingest(Tuple{SourceTS: 1500 * time.Millisecond, TrueWindow: 1, Value: 1}, 0)
+	p.Ingest(Tuple{SourceTS: 1000 * time.Millisecond, TrueWindow: 1, Value: 1}, 0)
+	p.Flush(2 * time.Second)
+	res := p.Results()
+	if len(res) != 1 || res[0].Count != 2 {
+		t.Fatalf("results = %+v", res)
+	}
+}
+
+func TestOffsetSendsTuplesToWrongWindow(t *testing.T) {
+	p := New(time.Second, 8)
+	// One source offset by +10s: its tuples land 10 windows ahead.
+	for i := 0; i < 20; i++ {
+		now := time.Duration(i) * 500 * time.Millisecond
+		trueWin := int64(now / time.Second)
+		p.Ingest(Tuple{SourceTS: now, TrueWindow: trueWin, Value: 1}, now)
+		p.Ingest(Tuple{SourceTS: now + 10*time.Second, TrueWindow: trueWin, Value: 1}, now)
+	}
+	p.Flush(20 * time.Second)
+	misassigned := 0
+	total := 0
+	for _, w := range p.Results() {
+		for tw, c := range w.ByTrueWindow {
+			total += c
+			if tw != w.Window {
+				misassigned += c
+			}
+		}
+	}
+	if total == 0 || misassigned < total/3 {
+		t.Fatalf("misassigned %d of %d; offset should pollute windows", misassigned, total)
+	}
+}
+
+func TestBoundedBufferBoundsLatency(t *testing.T) {
+	// A tuple delayed beyond the buffer's reorder horizon is dropped from
+	// its (already closed) window rather than delaying results.
+	p := New(time.Second, 4)
+	var lastClose time.Duration
+	for i := 0; i < 40; i++ {
+		now := time.Duration(i) * 250 * time.Millisecond
+		p.Ingest(Tuple{SourceTS: now, TrueWindow: int64(now / time.Second), Value: 1}, now)
+	}
+	for _, w := range p.Results() {
+		if w.ClosedAt > lastClose {
+			lastClose = w.ClosedAt
+		}
+		// Close lag bounded by buffer size x inter-arrival (4 x 250ms) plus
+		// one window.
+		due := time.Duration(w.Window+1) * time.Second
+		if lag := w.ClosedAt - due; lag > 2*time.Second {
+			t.Fatalf("window %d closed %v after due", w.Window, lag)
+		}
+	}
+	if p.Buffered() > 4 {
+		t.Fatalf("buffer exceeded cap: %d", p.Buffered())
+	}
+}
+
+func TestNegativeTimestamps(t *testing.T) {
+	p := New(time.Second, 2)
+	p.Ingest(Tuple{SourceTS: -1500 * time.Millisecond, TrueWindow: 0, Value: 1}, 0)
+	p.Ingest(Tuple{SourceTS: -500 * time.Millisecond, TrueWindow: 0, Value: 1}, 0)
+	p.Flush(time.Second)
+	for _, w := range p.Results() {
+		if w.Window > 0 {
+			t.Fatalf("negative timestamps produced window %d", w.Window)
+		}
+	}
+}

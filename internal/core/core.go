@@ -1,0 +1,35 @@
+// Package core exposes the paper's primary contribution — the Mortar peer
+// runtime — under the canonical layout's name. The implementation lives in
+// internal/mortar (fabric, peers, dynamic striping, time-division data
+// management, syncless indexing, reconciliation); this package re-exports
+// its public surface so downstream code can depend on `core` without
+// caring how the runtime is factored internally.
+package core
+
+import (
+	"repro/internal/mortar"
+)
+
+// Fabric is an emulated Mortar federation. See mortar.Fabric.
+type Fabric = mortar.Fabric
+
+// Config tunes the peer runtime. See mortar.Config.
+type Config = mortar.Config
+
+// Peer is one Mortar process. See mortar.Peer.
+type Peer = mortar.Peer
+
+// QueryMeta is the per-peer query definition. See mortar.QueryMeta.
+type QueryMeta = mortar.QueryMeta
+
+// QueryDef is a compiled query. See mortar.QueryDef.
+type QueryDef = mortar.QueryDef
+
+// Result is one root-reported answer. See mortar.Result.
+type Result = mortar.Result
+
+// NewFabric creates one peer per host of the topology.
+var NewFabric = mortar.NewFabric
+
+// DefaultConfig returns the paper's evaluation settings.
+var DefaultConfig = mortar.DefaultConfig

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eventsim"
+	"repro/internal/netem"
+	"repro/internal/tuple"
+)
+
+// The core facade must expose a working end-to-end path.
+func TestCoreFacade(t *testing.T) {
+	sim := eventsim.New(1)
+	rng := rand.New(rand.NewSource(1))
+	p := netem.PaperTopology(20)
+	p.Stubs = 4
+	p.Transits = 2
+	topo := netem.GenerateTransitStub(p, rng)
+	net := netem.New(sim, topo)
+	fab, err := NewFabric(net, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := make([]cluster.Point, 20)
+	for i := range coords {
+		coords[i] = cluster.Point{rng.Float64(), rng.Float64()}
+	}
+	meta := QueryMeta{
+		Name: "q", Seq: 1, OpName: "count",
+		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+		Root:      0,
+		IssuedSim: sim.Now(),
+	}
+	def, err := fab.Compile(meta, nil, coords, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fab.Install(0, def); err != nil {
+		t.Fatal(err)
+	}
+	var last Result
+	fab.OnResult = func(r Result) { last = r }
+	for i := 0; i < 20; i++ {
+		i := i
+		sim.After(time.Duration(i*53)*time.Millisecond, func() {
+			sim.Every(time.Second, func() { fab.Inject(i, tuple.Raw{Vals: []float64{1}}) })
+		})
+	}
+	sim.RunUntil(15 * time.Second)
+	if last.Value == nil || last.Value.(float64) != 20 {
+		t.Fatalf("count = %v, want 20", last.Value)
+	}
+}

@@ -1,0 +1,46 @@
+package eventsim
+
+import (
+	"time"
+)
+
+// RunRealtime executes events paced to the wall clock: an event due at
+// virtual time T runs no earlier than start + T/speed of real time. With
+// speed 1 the federation behaves like a live deployment (the examples use
+// this when run interactively); large speeds approach plain Run. It
+// returns when no events remain or the virtual deadline is reached.
+//
+// Pacing is cooperative, not preemptive: a long-running callback delays
+// its successors, exactly as in the prototype's single-threaded
+// event-driven peers.
+func (s *Sim) RunRealtime(until time.Duration, speed float64, sleep func(time.Duration)) {
+	if speed <= 0 {
+		speed = 1
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	start := time.Now()
+	for {
+		// Drop cancelled events to find the true next deadline.
+		for len(s.events) > 0 && s.events[0].fn == nil {
+			s.Step()
+		}
+		if len(s.events) == 0 {
+			if s.now < until {
+				s.now = until
+			}
+			return
+		}
+		next := s.events[0].at
+		if next > until {
+			s.now = until
+			return
+		}
+		real := time.Duration(float64(next) / speed)
+		if ahead := real - time.Since(start); ahead > 0 {
+			sleep(ahead)
+		}
+		s.Step()
+	}
+}

@@ -1,0 +1,65 @@
+package eventsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunRealtimePacesEvents(t *testing.T) {
+	s := New(1)
+	var fired []time.Duration
+	for i := 1; i <= 5; i++ {
+		d := time.Duration(i) * 10 * time.Millisecond
+		s.After(d, func() { fired = append(fired, s.Now()) })
+	}
+	var slept time.Duration
+	s.RunRealtime(time.Second, 1, func(d time.Duration) { slept += d })
+	if len(fired) != 5 {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	// The injected sleep does not advance the wall clock, so the pacer
+	// requests each event's absolute deadline: 10+20+30+40+50 = 150ms.
+	if slept < 140*time.Millisecond || slept > 160*time.Millisecond {
+		t.Fatalf("slept %v, want ~150ms", slept)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", s.Now())
+	}
+}
+
+func TestRunRealtimeSpeedup(t *testing.T) {
+	s := New(1)
+	s.After(100*time.Millisecond, func() {})
+	var slept time.Duration
+	s.RunRealtime(200*time.Millisecond, 10, func(d time.Duration) { slept += d })
+	if slept > 15*time.Millisecond {
+		t.Fatalf("slept %v at 10x speed, want ~10ms", slept)
+	}
+}
+
+func TestRunRealtimeStopsAtDeadline(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.After(time.Hour, func() { ran = true })
+	s.RunRealtime(time.Millisecond, 1e9, nil)
+	if ran {
+		t.Fatal("event beyond deadline ran")
+	}
+	if s.Now() != time.Millisecond {
+		t.Fatalf("Now = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+}
+
+func TestRunRealtimeCancelledEventsSkipped(t *testing.T) {
+	s := New(1)
+	tm := s.After(10*time.Millisecond, func() { t.Fatal("cancelled event ran") })
+	tm.Cancel()
+	var slept time.Duration
+	s.RunRealtime(20*time.Millisecond, 1, func(d time.Duration) { slept += d })
+	if slept > time.Millisecond {
+		t.Fatalf("paced for a cancelled event: %v", slept)
+	}
+}

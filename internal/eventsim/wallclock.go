@@ -1,0 +1,45 @@
+package eventsim
+
+import (
+	"sync"
+	"time"
+)
+
+// WallClock implements Clock against real time, for the live runtime used by
+// the examples. Callbacks run on timer goroutines; callers that need
+// single-threaded semantics must serialize externally (the live Mortar peer
+// funnels all callbacks through its event loop channel).
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock returns a Clock whose zero instant is the moment of creation.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns the elapsed real time since the clock was created.
+func (w *WallClock) Now() time.Duration { return time.Since(w.start) }
+
+// After schedules fn on a real timer.
+func (w *WallClock) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &Timer{at: w.Now() + d, index: -1}
+	var mu sync.Mutex
+	cancelled := false
+	rt := time.AfterFunc(d, func() {
+		mu.Lock()
+		dead := cancelled
+		mu.Unlock()
+		if !dead {
+			fn()
+		}
+	})
+	t.cancel = func() {
+		mu.Lock()
+		cancelled = true
+		mu.Unlock()
+		rt.Stop()
+	}
+	return t
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "fmt"
+
+// Runner regenerates one of the paper's figures.
+type Runner func(Options) *Table
+
+// All maps figure identifiers to their runners, in paper order.
+var All = []struct {
+	ID   string
+	Desc string
+	Run  Runner
+}{
+	{"fig1", "completeness vs link failures: mirroring / striping / dynamic striping", Figure1},
+	{"fig9", "true completeness vs clock skew scale (syncless / timestamp / StreamBase)", Figure9},
+	{"fig10", "result latency vs clock skew scale", Figure10},
+	{"fig11", "query installation rate and coverage with inconsistent node sets", Figure11},
+	{"fig12", "completeness vs failed nodes for tree set sizes 1-5", Figure12},
+	{"fig13", "unique heartbeat children per node vs number of queries", Figure13},
+	{"fig14", "rolling failures time series: completeness, path length, load", Figure14},
+	{"fig15", "accuracy under churn", Figure15},
+	{"fig16", "SDIMS baseline: over-counting and bandwidth under failures", Figure16},
+	{"fig17", "planner quality: 90th-percentile latency to root vs branching factor", Figure17},
+	{"fig18", "Wi-Fi location service: select -> topk -> trilateration", Figure18},
+}
+
+// Find returns the runner for an identifier.
+func Find(id string) (Runner, error) {
+	for _, e := range All {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown figure %q", id)
+}

@@ -1,0 +1,147 @@
+// Package federation is the high-level entry point this library's
+// applications use: it takes a parsed Mortar Stream Language program and a
+// network, plans and installs every query (chaining subscriptions for
+// queries that source other queries' output streams), and exposes sensor
+// injection and failure control. The mortard command and the examples are
+// thin wrappers around it.
+package federation
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eventsim"
+	"repro/internal/mortar"
+	"repro/internal/msl"
+	"repro/internal/netem"
+	"repro/internal/tuple"
+	"repro/internal/vivaldi"
+)
+
+// Defaults applied when an MSL statement omits planner knobs.
+const (
+	DefaultTrees = 4
+	DefaultBF    = 16
+)
+
+// Federation is a running set of queries over an emulated node set.
+type Federation struct {
+	Fab  *mortar.Fabric
+	Prog *msl.Program
+	Sim  *eventsim.Sim
+
+	defs map[string]*mortar.QueryDef
+	down []int
+	seq  uint64
+}
+
+// New plans and installs every query of prog over net's hosts. Queries
+// sourcing "sensors" span all peers; queries sourcing another query run at
+// their root only and are fed by subscription (§2.2 composition).
+func New(net *netem.Network, prog *msl.Program, rng *rand.Rand) (*Federation, error) {
+	fab, err := mortar.NewFabric(net, nil, mortar.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	f := &Federation{Fab: fab, Prog: prog, Sim: net.Sim(), defs: map[string]*mortar.QueryDef{}}
+
+	// Network coordinates for planning, as the prototype sources them from
+	// Vivaldi (§3.1).
+	hosts := net.Topology().Hosts()
+	sys := vivaldi.NewSystem(len(hosts), vivaldi.DefaultConfig(), rng)
+	sys.Run(10, 8, func(i, j int) time.Duration { return net.Latency(hosts[i], hosts[j]) })
+	coords := make([]cluster.Point, len(hosts))
+	for i, c := range sys.Coordinates() {
+		coords[i] = cluster.Point(c)
+	}
+
+	for _, st := range prog.Statements {
+		f.seq++
+		meta := mortar.QueryMeta{
+			Name:      st.Name,
+			Seq:       f.seq,
+			OpName:    st.Op,
+			OpArgs:    st.Args,
+			Window:    st.Window,
+			FilterKey: st.FilterKey,
+			Root:      0,
+			IssuedSim: f.Sim.Now(),
+		}
+		trees, bf := st.Trees, st.BF
+		if trees == 0 {
+			trees = DefaultTrees
+		}
+		if bf == 0 {
+			bf = DefaultBF
+		}
+		var def *mortar.QueryDef
+		if st.Source == msl.SourceSensors {
+			def, err = fab.Compile(meta, nil, coords, bf, trees)
+		} else {
+			// Downstream query: a root-only operator fed by subscription.
+			def, err = fab.Compile(meta, []int{0}, coords[:1], bf, 1)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("federation: query %q: %w", st.Name, err)
+		}
+		if err := fab.Install(0, def); err != nil {
+			return nil, fmt.Errorf("federation: query %q: %w", st.Name, err)
+		}
+		f.defs[st.Name] = def
+		if st.Source != msl.SourceSensors {
+			fab.Chain(st.Source, 0)
+		}
+	}
+	return f, nil
+}
+
+// Def returns the compiled definition of a query.
+func (f *Federation) Def(name string) *mortar.QueryDef { return f.defs[name] }
+
+// StartSensors emits one tuple per period per peer using gen, with
+// per-peer phase jitter.
+func (f *Federation) StartSensors(period time.Duration, gen func(peer int) tuple.Raw, rng *rand.Rand) {
+	for i := 0; i < f.Fab.NumPeers(); i++ {
+		i := i
+		phase := time.Duration(rng.Int63n(int64(period)))
+		f.Sim.After(phase, func() {
+			f.Sim.Every(period, func() {
+				f.Fab.Inject(i, gen(i))
+			})
+		})
+	}
+}
+
+// PrintResults streams every root result to w as it is reported.
+func (f *Federation) PrintResults(w io.Writer) {
+	prev := f.Fab.OnResult
+	f.Fab.OnResult = func(r mortar.Result) {
+		if prev != nil {
+			prev(r)
+		}
+		fmt.Fprintf(w, "t=%-8v query=%-10s window=%-4d value=%v completeness=%d hops=%d\n",
+			r.At.Truncate(time.Millisecond), r.Query, r.WindowIndex, r.Value, r.Count, r.Hops)
+	}
+}
+
+// FailRandom disconnects n random non-root peers.
+func (f *Federation) FailRandom(n int, rng *rand.Rand) {
+	for len(f.down) < n {
+		p := 1 + rng.Intn(f.Fab.NumPeers()-1)
+		if !f.Fab.Down(p) {
+			f.Fab.SetDown(p, true)
+			f.down = append(f.down, p)
+		}
+	}
+}
+
+// RecoverAll reconnects every disconnected peer.
+func (f *Federation) RecoverAll() {
+	for _, p := range f.down {
+		f.Fab.SetDown(p, false)
+	}
+	f.down = nil
+}

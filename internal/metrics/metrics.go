@@ -1,0 +1,130 @@
+// Package metrics provides the measurement helpers the experiment harness
+// shares: time-bucketed series, percentiles, and the completeness /
+// true-completeness / dispersion definitions from §2 and §5.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Series buckets samples by time.
+type Series struct {
+	Bucket time.Duration
+	vals   map[int64][]float64
+}
+
+// NewSeries returns a series with the given bucket width.
+func NewSeries(bucket time.Duration) *Series {
+	return &Series{Bucket: bucket, vals: map[int64][]float64{}}
+}
+
+// Add records a sample at time t.
+func (s *Series) Add(t time.Duration, v float64) {
+	idx := int64(t / s.Bucket)
+	s.vals[idx] = append(s.vals[idx], v)
+}
+
+// At returns the mean of the bucket containing t, and false if empty.
+func (s *Series) At(t time.Duration) (float64, bool) {
+	vs := s.vals[int64(t/s.Bucket)]
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return Mean(vs), true
+}
+
+// Range returns per-bucket means over [from, to); empty buckets repeat the
+// previous value (step interpolation), starting at fill.
+func (s *Series) Range(from, to time.Duration, fill float64) []float64 {
+	var out []float64
+	cur := fill
+	for t := from; t < to; t += s.Bucket {
+		if v, ok := s.At(t); ok {
+			cur = v
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p'th percentile (0-100) by nearest-rank on a copy.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	idx := int(p / 100 * float64(len(cp)-1))
+	return cp[idx]
+}
+
+// Completeness is the paper's primary accuracy metric (§2): the percentage
+// of live peers whose data are included in the final result.
+func Completeness(counted, live int) float64 {
+	if live == 0 {
+		return 0
+	}
+	return 100 * float64(counted) / float64(live)
+}
+
+// TrueCompleteness (§5): of the tuples that truly belong to a window, the
+// percentage assigned to it. hist maps ground-truth window -> tuples
+// counted in the reported window; produced is the number of tuples truly
+// generated for the reported window.
+func TrueCompleteness(hist map[string]float64, window string, produced float64) float64 {
+	if produced <= 0 {
+		return 0
+	}
+	frac := 100 * hist[window] / produced
+	if frac > 100 {
+		frac = 100
+	}
+	return frac
+}
+
+// Dispersion (§5) summarizes how far tuples land from their true window:
+// the mean absolute distance, in windows, between the reporting window and
+// the constituents' true windows.
+func Dispersion(hist map[int64]float64, window int64) float64 {
+	var total, weighted float64
+	for w, c := range hist {
+		total += c
+		d := float64(w - window)
+		if d < 0 {
+			d = -d
+		}
+		weighted += d * c
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSeries(t *testing.T) {
+	s := NewSeries(time.Second)
+	s.Add(100*time.Millisecond, 10)
+	s.Add(900*time.Millisecond, 20)
+	s.Add(2500*time.Millisecond, 5)
+	if v, ok := s.At(0); !ok || v != 15 {
+		t.Fatalf("bucket 0 = %v %v", v, ok)
+	}
+	if _, ok := s.At(time.Second); ok {
+		t.Fatal("empty bucket reported a value")
+	}
+	r := s.Range(0, 3*time.Second, 0)
+	want := []float64{15, 15, 5} // step interpolation through the gap
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("range = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestMeanStdDevPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Mean(xs) != 3 {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Fatal("empty input must be zero")
+	}
+	if sd := StdDev(xs); sd < 1.41 || sd > 1.42 {
+		t.Fatalf("stddev = %v", sd)
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 || Percentile(xs, 50) != 3 {
+		t.Fatal("percentiles broken")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestCompleteness(t *testing.T) {
+	if Completeness(47, 50) != 94 {
+		t.Fatalf("completeness = %v", Completeness(47, 50))
+	}
+	if Completeness(1, 0) != 0 {
+		t.Fatal("division by zero")
+	}
+}
+
+func TestTrueCompleteness(t *testing.T) {
+	hist := map[string]float64{"5": 45, "4": 3, "6": 2}
+	if got := TrueCompleteness(hist, "5", 50); got != 90 {
+		t.Fatalf("true completeness = %v", got)
+	}
+	if got := TrueCompleteness(hist, "5", 40); got != 100 {
+		t.Fatalf("clamp failed: %v", got)
+	}
+	if TrueCompleteness(hist, "5", 0) != 0 {
+		t.Fatal("zero produced")
+	}
+}
+
+func TestDispersion(t *testing.T) {
+	hist := map[int64]float64{5: 8, 4: 1, 7: 1}
+	if got := Dispersion(hist, 5); got != 0.3 {
+		t.Fatalf("dispersion = %v", got)
+	}
+	if Dispersion(nil, 0) != 0 {
+		t.Fatal("empty dispersion")
+	}
+}

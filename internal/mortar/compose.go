@@ -1,0 +1,69 @@
+package mortar
+
+import (
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Query composition (§2.2): a query "may take as input one or more raw
+// sensor data streams or subscribe to existing data streams to compose
+// complex data processing operations". Subscriptions attach to a query's
+// root output stream; Chain converts each result into raw tuples for a
+// downstream query whose source operator runs at the same peer. The Wi-Fi
+// location service composes select -> topk -> trilat this way (§7.4).
+
+// Subscribe invokes fn for every result the named query's root reports, in
+// addition to the fabric-wide OnResult hook.
+func (f *Fabric) Subscribe(query string, fn func(Result)) {
+	prev := f.OnResult
+	f.OnResult = func(r Result) {
+		if prev != nil {
+			prev(r)
+		}
+		if r.Query == query {
+			fn(r)
+		}
+	}
+}
+
+// Chain feeds the results of query `from` into query `to` as raw tuples at
+// the downstream query's root peer. Scored-entry results (top-k, union)
+// fan out into one raw per entry with Vals = payload + score; scalar
+// results become a single raw.
+func (f *Fabric) Chain(from string, toRoot int) {
+	f.Subscribe(from, func(r Result) {
+		for _, raw := range ResultToRaws(r) {
+			f.Inject(toRoot, raw)
+		}
+	})
+}
+
+// ResultToRaws converts a root result into raw tuples for a downstream
+// operator.
+func ResultToRaws(r Result) []tuple.Raw {
+	switch v := r.Value.(type) {
+	case nil:
+		return nil
+	case []wire.ScoredEntry:
+		out := make([]tuple.Raw, 0, len(v))
+		for _, e := range v {
+			vals := append(append([]float64(nil), e.Payload...), e.Score)
+			out = append(out, tuple.Raw{Key: e.Key, Vals: vals})
+		}
+		return out
+	case float64:
+		return []tuple.Raw{{Vals: []float64{v}}}
+	case []float64:
+		return []tuple.Raw{{Vals: append([]float64(nil), v...)}}
+	case wire.Coord:
+		return []tuple.Raw{{Vals: []float64{v.X, v.Y}}}
+	case map[string]float64:
+		out := make([]tuple.Raw, 0, len(v))
+		for k, c := range v {
+			out = append(out, tuple.Raw{Key: k, Vals: []float64{c}})
+		}
+		return out
+	default:
+		return nil
+	}
+}

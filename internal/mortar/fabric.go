@@ -1,0 +1,242 @@
+package mortar
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/eventsim"
+	"repro/internal/netem"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// Config tunes the peer runtime. Defaults reproduce the paper's settings:
+// 2-second heartbeats, reconciliation every third heartbeat, netDist EWMA
+// with alpha 10%, TTL-down limit of 3, and 16 install chunks.
+type Config struct {
+	// HeartbeatPeriod is the parent-to-child heartbeat interval.
+	HeartbeatPeriod time.Duration
+	// ReconcileEveryBeats piggybacks the reconciliation hash on every n'th
+	// heartbeat ("reconciliation runs every third heartbeat", §7.1).
+	ReconcileEveryBeats int
+	// LivenessMultiple: a parent is presumed unreachable after
+	// HeartbeatPeriod * LivenessMultiple of silence.
+	LivenessMultiple float64
+	// NetDistAlpha is the EWMA weight for the netDist estimate (§4.3,
+	// footnote: alpha = 10% worked well in practice).
+	NetDistAlpha float64
+	// MinTimeout and MaxTimeout clamp TS-list entry timeouts; TimeoutSlack
+	// is added on top. TimeoutFactor scales netDist-age ("the TS list sets
+	// the timeout in proportion to netDist - T.age", §4.3); values above 1
+	// give each operator headroom over the most-delayed path.
+	MinTimeout    time.Duration
+	MaxTimeout    time.Duration
+	TimeoutSlack  time.Duration
+	TimeoutFactor float64
+	// TTLDownMax bounds flex-down steps before a tuple is dropped (§3.3).
+	TTLDownMax int
+	// MaxStage caps the staged routing policy for ablations: 1 same-tree
+	// only, 2 adds up*, 3 adds flex, 4 adds flex-down (the default).
+	MaxStage int
+	// Syncless selects age-based indexing (§5); false selects traditional
+	// timestamp indexing for comparison.
+	Syncless bool
+	// InstallChunks is the number of components the install multicast is
+	// split into (§7.1 uses 16).
+	InstallChunks int
+}
+
+// DefaultConfig returns the paper's evaluation settings.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatPeriod:     2 * time.Second,
+		ReconcileEveryBeats: 3,
+		LivenessMultiple:    2.5,
+		NetDistAlpha:        0.10,
+		MinTimeout:          100 * time.Millisecond,
+		MaxTimeout:          60 * time.Second,
+		TimeoutSlack:        250 * time.Millisecond,
+		TimeoutFactor:       1.5,
+		TTLDownMax:          3,
+		MaxStage:            4,
+		Syncless:            true,
+		InstallChunks:       16,
+	}
+}
+
+// Stats aggregates fabric-wide counters for the experiment harness.
+type Stats struct {
+	// ResultsReported counts results emitted by query roots.
+	ResultsReported uint64
+	// LateAtRoot counts summaries that reached the root after their window
+	// had been reported (data lost to the result).
+	LateAtRoot uint64
+	// Dropped counts tuples dropped by the routing policy (no live
+	// destination or TTL exhausted).
+	Dropped uint64
+	// Relayed counts tuples forwarded without merging (late at an interior
+	// operator, §4.3 path).
+	Relayed uint64
+	// FlexDownHops counts stage-4 descents.
+	FlexDownHops uint64
+}
+
+// Fabric is an emulated Mortar federation: one peer per host of the
+// underlying topology, driven by a shared event simulator.
+type Fabric struct {
+	Sim *eventsim.Sim
+	Net *netem.Network
+	Cfg Config
+
+	peers  []*Peer
+	hosts  []netem.NodeID
+	peerOf map[netem.NodeID]int
+	rng    *rand.Rand
+
+	// OnResult receives every root-reported result.
+	OnResult func(Result)
+	// Stats holds fabric-wide counters.
+	Stats Stats
+}
+
+// NewFabric creates one peer per host. clocks may be nil (perfect clocks)
+// or one per host.
+func NewFabric(net *netem.Network, clocks []vclock.Clock, cfg Config) (*Fabric, error) {
+	hosts := net.Topology().Hosts()
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("mortar: topology has no hosts")
+	}
+	if clocks != nil && len(clocks) != len(hosts) {
+		return nil, fmt.Errorf("mortar: %d clocks for %d hosts", len(clocks), len(hosts))
+	}
+	f := &Fabric{
+		Sim:    net.Sim(),
+		Net:    net,
+		Cfg:    cfg,
+		hosts:  hosts,
+		peerOf: make(map[netem.NodeID]int, len(hosts)),
+		rng:    rand.New(rand.NewSource(net.Sim().Rand().Int63())),
+	}
+	for i, h := range hosts {
+		f.peerOf[h] = i
+		ck := vclock.Perfect()
+		if clocks != nil {
+			ck = clocks[i]
+		}
+		p := newPeer(f, i, h, ck)
+		f.peers = append(f.peers, p)
+		h := h
+		net.Handle(h, p.deliver)
+	}
+	return f, nil
+}
+
+// NumPeers returns the federation size.
+func (f *Fabric) NumPeers() int { return len(f.peers) }
+
+// Peer returns the i'th peer.
+func (f *Fabric) Peer(i int) *Peer { return f.peers[i] }
+
+// SetDown disconnects (true) or reconnects (false) a peer's host.
+func (f *Fabric) SetDown(i int, down bool) { f.Net.SetDown(f.hosts[i], down) }
+
+// Down reports whether a peer is disconnected.
+func (f *Fabric) Down(i int) bool { return f.Net.Down(f.hosts[i]) }
+
+// LiveCount returns the number of connected peers.
+func (f *Fabric) LiveCount() int {
+	n := 0
+	for i := range f.peers {
+		if !f.Down(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Inject delivers a raw sensor tuple to a peer's local source stream. The
+// tuple's At field is stamped by the peer in its own windowing frame.
+func (f *Fabric) Inject(peer int, raw tuple.Raw) { f.peers[peer].injectRaw(raw) }
+
+// send transmits a control or data message between peers over the emulated
+// network, charging the encoded size.
+func (f *Fabric) send(from, to int, class netem.TrafficClass, payload any) {
+	f.Net.Send(f.hosts[from], f.hosts[to], class, msgSize(payload), payload)
+}
+
+// Compile plans a query over the given member peers (all peers when members
+// is nil) using their network coordinates, producing bf-ary trees with a
+// tree set of size d rooted at the issuing peer.
+func (f *Fabric) Compile(meta QueryMeta, members []int, coords []cluster.Point, bf, d int) (*QueryDef, error) {
+	if members == nil {
+		members = make([]int, f.NumPeers())
+		for i := range members {
+			members[i] = i
+		}
+	}
+	if len(coords) != len(members) {
+		return nil, fmt.Errorf("mortar: %d coords for %d members", len(coords), len(members))
+	}
+	rootIdx := -1
+	for i, m := range members {
+		if m == meta.Root {
+			rootIdx = i
+			break
+		}
+	}
+	if rootIdx < 0 {
+		return nil, fmt.Errorf("mortar: root %d not in member set", meta.Root)
+	}
+	trees := plan.Build(coords, rootIdx, bf, d, f.rng)
+	def := &QueryDef{Meta: meta, Trees: trees}
+	def.Members = members
+	return def, nil
+}
+
+// Install starts the chunked install multicast from the issuing peer
+// (§6): the primary tree is broken into InstallChunks components, each
+// multicast in parallel down its tree edges. Reconciliation guarantees
+// eventual installation on nodes the multicast misses.
+func (f *Fabric) Install(issuer int, def *QueryDef) error {
+	if err := def.Validate(); err != nil {
+		return err
+	}
+	if issuer != def.Meta.Root {
+		return fmt.Errorf("mortar: issuer %d must host the root operator (root %d)", issuer, def.Meta.Root)
+	}
+	f.peers[issuer].startInstall(def)
+	return nil
+}
+
+// Remove multicasts removal of a query from the issuing peer, using the
+// cached definition at the root for chunking.
+func (f *Fabric) Remove(issuer int, name string, seq uint64) error {
+	return f.peers[issuer].startRemove(name, seq)
+}
+
+// InstalledCount returns how many peers currently host an operator for the
+// query (Figure 11's y-axis).
+func (f *Fabric) InstalledCount(name string) int {
+	n := 0
+	for _, p := range f.peers {
+		if _, ok := p.insts[name]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// WiredCount returns how many installed operators know their tree
+// positions.
+func (f *Fabric) WiredCount(name string) int {
+	n := 0
+	for _, p := range f.peers {
+		if inst, ok := p.insts[name]; ok && inst.wired {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,702 @@
+package mortar
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/netem"
+	"repro/internal/ops"
+	"repro/internal/tslist"
+	"repro/internal/tuple"
+)
+
+// instance is one peer's operator for one query: the local window over its
+// raw source stream ("merging across time"), the time-space list merging
+// children's summaries ("merging across space"), and the routing state that
+// stripes evicted summaries up the tree set.
+type instance struct {
+	peer *Peer
+	meta QueryMeta
+	op   ops.Operator
+	fin  ops.Finalizer // nil when the partial value is the final value
+
+	// Tree position; zero until wired (install multicast carries it; peers
+	// adopted via reconciliation fetch it from the root topology service).
+	nb    neighbors
+	wired bool
+
+	// Full definition; held only at the query root / issuer (§6.1).
+	def *QueryDef
+
+	// Local source window state.
+	win        ops.Window
+	raws       []tuple.Raw // tuples currently inside the window range
+	rawInSlide bool        // saw a raw tuple during the current slide
+	everRaw    bool
+
+	// Tuple-window state (§4.1): counts since the last emission, and the
+	// end of the last emitted validity interval so stall boundaries can
+	// extend it (§4.3).
+	sinceSlide int
+	lastTE     time.Duration
+	stallTick  *eventsim.Timer
+
+	// Reference clock (§5.1): local frame used for indexing. For syncless
+	// operation, frameNow = refBase + (localNow - installLocal); for
+	// timestamp operation, frameNow = localNow.
+	installLocal time.Duration
+	refBase      time.Duration
+
+	curSlide   int64 // next local slide boundary to close
+	slideTimer *eventsim.Timer
+
+	ts           *tslist.List
+	evictTimer   *eventsim.Timer
+	lastEvicted  int64 // highest window index already evicted (late detection)
+	lastReported int64 // highest window index reported (root only)
+
+	// netDist: EWMA of the maximum received age sample (syncless) or of
+	// the maximum timestamp lag (timestamp mode). Samples accumulate into
+	// sampleMax and fold into the EWMA once per slide, so one straggler
+	// cannot ratchet the estimate permanently.
+	netDist   time.Duration
+	sampleMax time.Duration
+
+	stripe int // round-robin tree pointer for newly created tuples
+}
+
+func (p *Peer) newInstance(meta QueryMeta) (*instance, error) {
+	op, err := ops.New(meta.OpName, meta.OpArgs)
+	if err != nil {
+		return nil, err
+	}
+	inst := &instance{
+		peer:         p,
+		meta:         meta,
+		op:           op,
+		win:          op.NewWindow(),
+		installLocal: p.localNow(),
+		lastEvicted:  math.MinInt64,
+		lastReported: math.MinInt64,
+	}
+	if f, ok := op.(ops.Finalizer); ok {
+		inst.fin = f
+	}
+	inst.ts = tslist.New(ops.CombineNilAware(op))
+	if p.fab.Cfg.Syncless {
+		// t_ref begins at the age of the install message: the operator
+		// pretends it started when the query was issued (§5.1).
+		inst.refBase = p.clock.Elapsed(p.fab.Sim.Now() - meta.IssuedSim)
+	}
+	return inst, nil
+}
+
+// frameNow returns the instance's indexing-frame time.
+func (inst *instance) frameNow() time.Duration {
+	if inst.peer.fab.Cfg.Syncless {
+		return inst.refBase + (inst.peer.localNow() - inst.installLocal)
+	}
+	return inst.peer.localNow()
+}
+
+// start begins slide processing. Called once the operator is installed
+// (wiring may complete later; an unwired operator still windows its local
+// source, it just cannot forward).
+func (inst *instance) start() {
+	if inst.meta.Window.Kind == tuple.TupleWindow {
+		// Tuple windows emit on arrival counts; a stall ticker injects
+		// boundary tuples that extend the previous summary's validity
+		// interval when the raw stream goes quiet (§4.3).
+		inst.lastTE = inst.frameNow()
+		inst.scheduleStall()
+		return
+	}
+	now := inst.frameNow()
+	inst.curSlide = int64(now / inst.meta.Window.Slide)
+	if now < 0 {
+		inst.curSlide--
+	}
+	inst.scheduleSlide()
+}
+
+func (inst *instance) stop() {
+	if inst.slideTimer != nil {
+		inst.slideTimer.Cancel()
+	}
+	if inst.evictTimer != nil {
+		inst.evictTimer.Cancel()
+	}
+	if inst.stallTick != nil {
+		inst.stallTick.Cancel()
+	}
+}
+
+// stallPeriod is how long a tuple-window source stays quiet before a
+// boundary tuple extends its last summary.
+const stallPeriod = 2 * time.Second
+
+func (inst *instance) scheduleStall() {
+	inst.stallTick = inst.peer.fab.Sim.After(stallPeriod, func() {
+		if !inst.rawInSlide && inst.everRaw {
+			now := inst.frameNow()
+			inst.absorb(tuple.Summary{
+				Query:    inst.meta.Name,
+				Index:    tuple.Index{TB: inst.lastTE, TE: now},
+				Count:    1,
+				Boundary: true,
+				Age:      now - (inst.lastTE+now)/2,
+			})
+			inst.lastTE = now
+		}
+		inst.rawInSlide = false
+		inst.foldNetDist()
+		inst.scheduleStall()
+	})
+}
+
+// tupleArrived handles tuple-window accounting for one raw arrival,
+// emitting a summary over the last RangeN tuples every SlideN arrivals.
+// The index is the arrival span of the window's tuples (§4.1: "tb
+// indicates the arrival time of the first tuple and te the arrival time of
+// the last").
+func (inst *instance) tupleArrived() {
+	w := inst.meta.Window
+	inst.sinceSlide++
+	// Trim the raw queue to the window range.
+	for len(inst.raws) > w.RangeN {
+		inst.win.Remove(inst.raws[0])
+		inst.raws = inst.raws[1:]
+	}
+	if inst.sinceSlide < w.SlideN {
+		return
+	}
+	inst.sinceSlide = 0
+	if len(inst.raws) == 0 {
+		return
+	}
+	now := inst.frameNow()
+	first, last := inst.raws[0].At, inst.raws[len(inst.raws)-1].At
+	idx := tuple.Index{TB: first, TE: last + 1} // half-open: include the last arrival
+	var ageSum time.Duration
+	for _, r := range inst.raws {
+		ageSum += now - r.At
+	}
+	s := tuple.Summary{
+		Query: inst.meta.Name,
+		Index: idx,
+		Value: inst.win.Value(),
+		Count: 1,
+		Age:   ageSum / time.Duration(len(inst.raws)),
+	}
+	inst.lastTE = idx.TE
+	inst.absorb(s)
+}
+
+func (inst *instance) scheduleSlide() {
+	boundary := time.Duration(inst.curSlide+1) * inst.meta.Window.Slide
+	delay := inst.peer.simDelayForLocal(boundary - inst.frameNow())
+	inst.slideTimer = inst.peer.fab.Sim.After(delay, inst.closeSlide)
+}
+
+// injectRaw feeds a raw sensor tuple into every matching local operator.
+func (p *Peer) injectRaw(raw tuple.Raw) {
+	for _, inst := range p.insts {
+		if inst.meta.FilterKey != "" && raw.Key != inst.meta.FilterKey {
+			continue // the select stage (§7.4) drops non-matching tuples
+		}
+		r := raw
+		if r.SubKey != "" {
+			r.Key = r.SubKey // select consumed the match key; group by sub-key
+		}
+		r.At = inst.frameNow()
+		inst.win.Merge(r)
+		inst.raws = append(inst.raws, r)
+		inst.rawInSlide = true
+		inst.everRaw = true
+		if inst.meta.Window.Kind == tuple.TupleWindow {
+			inst.tupleArrived()
+		}
+	}
+}
+
+// closeSlide fires at each local slide boundary: expire raws that left the
+// window range, emit the window summary (or a boundary tuple if the source
+// stalled, §4.3), and reschedule.
+func (inst *instance) closeSlide() {
+	w := inst.meta.Window
+	n := inst.curSlide
+	inst.curSlide++
+	boundary := time.Duration(n+1) * w.Slide
+
+	// Expire raws older than the window range.
+	cutoff := boundary - w.Range
+	kept := inst.raws[:0]
+	for _, r := range inst.raws {
+		if r.At < cutoff {
+			inst.win.Remove(r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	inst.raws = kept
+
+	idx := tuple.Index{TB: time.Duration(n) * w.Slide, TE: boundary}
+	val := inst.win.Value()
+	s := tuple.Summary{
+		Query: inst.meta.Name,
+		Index: idx,
+		Count: 1,
+		Hops:  0,
+	}
+	// A summary's age is anchored at the mean inception time of its
+	// constituent raw tuples: downstream operators recover the window via
+	// index = (t_ref - age) / slide, so the age must place the summary in
+	// the middle of the data it represents, not at the moment of emission
+	// (§5.1: ages weight toward the majority of the constituent data).
+	now := inst.frameNow()
+	if val != nil {
+		s.Value = val
+		var sum time.Duration
+		cnt := 0
+		for _, r := range inst.raws {
+			if r.At >= idx.TB && r.At < idx.TE {
+				sum += now - r.At
+				cnt++
+			}
+		}
+		if cnt > 0 {
+			s.Age = sum / time.Duration(cnt)
+		} else {
+			// Value produced by raws from earlier slides still in range
+			// (sliding windows): anchor mid-window.
+			s.Age = now - (idx.TB + w.Slide/2)
+		}
+	} else {
+		// The stream stalled this window: inject a boundary tuple so
+		// downstream completeness still counts this participant. Only emit
+		// once the source has ever produced data (an idle peer with no
+		// sensor contributes nothing).
+		s.Boundary = true
+		s.Age = now - (idx.TB + w.Slide/2)
+	}
+	inst.rawInSlide = false
+	inst.foldNetDist()
+	if val != nil || inst.everRaw {
+		inst.absorb(s)
+	}
+	inst.scheduleSlide()
+}
+
+// --- TS list management (§4.2, §4.3) ---
+
+// absorb inserts a summary (local or remote) into the time-space list and
+// arms the eviction timer.
+func (inst *instance) absorb(s tuple.Summary) {
+	if s.Levels == nil && inst.wired {
+		s.Levels = inst.ownLevels()
+	}
+	now := inst.frameNow()
+	if s.Boundary && inst.meta.Window.Kind == tuple.TupleWindow {
+		// A stalled tuple-window source: first try to extend the validity
+		// interval of the summary it last produced (§4.3); fall through to
+		// a normal insert only if there is nothing to extend.
+		if inst.ts.ExtendLast(s.Index.TB, s.Index.TE) {
+			return
+		}
+	}
+	dl := now + inst.timeoutFor(s, now)
+	inst.ts.Insert(s, now, dl)
+	inst.armEvict()
+}
+
+// ownLevels is this operator's level on each tree, the starting routing
+// history for newly created tuples.
+func (inst *instance) ownLevels() []int16 {
+	out := make([]int16, len(inst.nb.Levels))
+	for i, l := range inst.nb.Levels {
+		out[i] = int16(l)
+	}
+	return out
+}
+
+// timeoutFor computes the dynamic timeout for a newly opened entry. For
+// syncless operation it is proportional to netDist - T.age: by the time
+// this tuple arrived, age time had already passed, so the most delayed
+// tuple should already be in flight (§4.3). For timestamp operation it is
+// the observed timestamp lag.
+func (inst *instance) timeoutFor(s tuple.Summary, frameNow time.Duration) time.Duration {
+	cfg := inst.peer.fab.Cfg
+	var to time.Duration
+	if cfg.Syncless {
+		to = time.Duration(cfg.TimeoutFactor * float64(inst.netDist-s.Age))
+	} else {
+		// Hold the window open until its end plus the observed lag.
+		to = (s.Index.TE - frameNow) + time.Duration(cfg.TimeoutFactor*float64(inst.netDist))
+	}
+	if to < cfg.MinTimeout {
+		to = cfg.MinTimeout
+	}
+	if to > cfg.MaxTimeout {
+		to = cfg.MaxTimeout
+	}
+	return to + cfg.TimeoutSlack
+}
+
+// observe records an arriving summary's delay sample toward the per-slide
+// maximum.
+func (inst *instance) observe(s tuple.Summary, frameNow time.Duration) {
+	var sample time.Duration
+	if inst.peer.fab.Cfg.Syncless {
+		sample = s.Age
+	} else {
+		sample = frameNow - s.Index.TE // how late this window's data runs
+	}
+	if sample < 0 {
+		sample = 0
+	}
+	if sample > inst.sampleMax {
+		inst.sampleMax = sample
+	}
+	if inst.netDist == 0 {
+		// Cold start: adopt the first sample immediately so early windows
+		// are not all evicted at the minimum timeout.
+		inst.netDist = sample
+	}
+	if sample > inst.netDist && inst.isRoot() {
+		// The root judges final completeness and its hold feeds no other
+		// operator's estimate, so it can safely jump straight to the
+		// slowest observed end-to-end path. Interior operators must not:
+		// with mutual parent pairs across sibling trees, jump-to-max there
+		// ratchets holds without bound (see handleSummary).
+		inst.netDist = sample
+	}
+}
+
+// foldNetDist folds the per-slide maximum sample into the EWMA ("an EWMA
+// of the maximum received sample", §4.3; alpha = 10%).
+func (inst *instance) foldNetDist() {
+	if inst.sampleMax == 0 {
+		return
+	}
+	a := inst.peer.fab.Cfg.NetDistAlpha
+	inst.netDist = time.Duration((1-a)*float64(inst.netDist) + a*float64(inst.sampleMax))
+	inst.sampleMax = 0
+}
+
+// armEvict keeps a single timer pointed at the earliest entry deadline.
+func (inst *instance) armEvict() {
+	dl, ok := inst.ts.NextDeadline()
+	if !ok {
+		return
+	}
+	delay := inst.peer.simDelayForLocal(dl - inst.frameNow())
+	if inst.evictTimer != nil && !inst.evictTimer.Stopped() {
+		// Keep the existing timer if it already fires early enough.
+		if inst.evictTimer.When() <= inst.peer.fab.Sim.Now()+delay {
+			return
+		}
+		inst.evictTimer.Cancel()
+	}
+	inst.evictTimer = inst.peer.fab.Sim.After(delay, inst.evictExpired)
+}
+
+func (inst *instance) evictExpired() {
+	now := inst.frameNow()
+	tupleWin := inst.meta.Window.Kind == tuple.TupleWindow
+	// Pop with a small tolerance: converting local-frame deadlines to
+	// simulator delays through a skewed clock rounds, so at timer fire the
+	// frame clock can sit an epsilon short of the deadline; without the
+	// tolerance the evict timer would re-arm with zero delay forever.
+	for _, e := range inst.ts.PopExpired(now + time.Millisecond) {
+		var n int64
+		if tupleWin {
+			// Tuple-window indices are unaligned intervals; order reports
+			// by interval start at millisecond granularity.
+			n = int64(e.Index.TB / time.Millisecond)
+		} else {
+			n = int64(e.Index.TB / inst.meta.Window.Slide)
+		}
+		if n > inst.lastEvicted {
+			inst.lastEvicted = n
+		}
+		s := e.Summary(inst.meta.Name, now)
+		if inst.isRoot() {
+			if tupleWin {
+				inst.reportInterval(n, s)
+			} else {
+				inst.report(n, s)
+			}
+		} else {
+			inst.routeNew(s)
+		}
+	}
+	inst.armEvict()
+}
+
+// reportInterval reports a tuple-window result. Unlike time windows, the
+// unaligned intervals of different sources legitimately evict out of
+// order, so every eviction is reported.
+func (inst *instance) reportInterval(n int64, s tuple.Summary) {
+	f := inst.peer.fab
+	f.Stats.ResultsReported++
+	val := s.Value
+	if inst.fin != nil && val != nil {
+		val = inst.fin.Finalize(val)
+	}
+	if f.OnResult != nil {
+		f.OnResult(Result{
+			Query:       s.Query,
+			WindowIndex: n,
+			Index:       s.Index,
+			Value:       val,
+			Count:       s.Count,
+			Hops:        s.Hops,
+			At:          f.Sim.Now(),
+			Age:         s.Age,
+		})
+	}
+}
+
+// isRoot reports whether this operator is the query root (no parent in any
+// tree).
+func (inst *instance) isRoot() bool {
+	if !inst.wired {
+		return false
+	}
+	for _, pa := range inst.nb.Parents {
+		if pa >= 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// report emits a final result from the root operator. Each window is
+// reported at most once, in order; data evicted for an already-reported
+// window is counted as late.
+func (inst *instance) report(n int64, s tuple.Summary) {
+	f := inst.peer.fab
+	if n <= inst.lastReported {
+		f.Stats.LateAtRoot++
+		return
+	}
+	inst.lastReported = n
+	f.Stats.ResultsReported++
+	val := s.Value
+	if inst.fin != nil && val != nil {
+		val = inst.fin.Finalize(val)
+	}
+	if f.OnResult != nil {
+		f.OnResult(Result{
+			Query:       s.Query,
+			WindowIndex: n,
+			Index:       s.Index,
+			Value:       val,
+			Count:       s.Count,
+			Hops:        s.Hops,
+			At:          f.Sim.Now(),
+			Age:         s.Age,
+		})
+	}
+}
+
+// --- Summary arrival (§3.3, §4) ---
+
+func (p *Peer) handleSummary(src int, env *envelope) {
+	inst, ok := p.insts[env.S.Query]
+	if !ok || !inst.wired {
+		// We cannot process or even consult tree levels; best-effort drop.
+		p.fab.Stats.Dropped++
+		return
+	}
+	s := env.S
+	// The transport measures one-hop flight time (UdpCC RTT/2) and adds it
+	// to the tuple's age, measured with the local oscillator.
+	s.Age += p.clock.Elapsed(p.fab.Sim.Now() - env.SentSim)
+	s.Hops++
+
+	now := inst.frameNow()
+
+	if inst.meta.Window.Kind == tuple.TupleWindow {
+		// Tuple-window summaries keep their arrival-span indices; the
+		// TS list's overlap splitting reconciles the unaligned intervals
+		// of different sources (§4.2).
+		inst.observe(s, now)
+		inst.absorb(s)
+		return
+	}
+
+	// Re-index in the local frame for syncless operation: the operator
+	// merges tuples that have been alive for similar periods (§5.1,
+	// Figure 7: index <- (t_ref - T.age) / slide).
+	var n int64
+	if p.fab.Cfg.Syncless {
+		n = int64((now - s.Age) / inst.meta.Window.Slide)
+		if now-s.Age < 0 && (now-s.Age)%inst.meta.Window.Slide != 0 {
+			n--
+		}
+		s.Index = tuple.Index{
+			TB: time.Duration(n) * inst.meta.Window.Slide,
+			TE: time.Duration(n+1) * inst.meta.Window.Slide,
+		}
+	} else {
+		n = int64(s.Index.TB / inst.meta.Window.Slide)
+	}
+
+	if n <= inst.lastEvicted {
+		// Late for this operator: the window was already sent upstream.
+		if inst.isRoot() {
+			// The root is where completeness is finally judged, so it
+			// alone learns from stragglers and stretches its timeout to
+			// the slowest end-to-end path.
+			inst.observe(s, now)
+			p.fab.Stats.LateAtRoot++
+			return
+		}
+		// Interior operators relay the straggler toward the root without
+		// feeding it into their own netDist. Interior operators waiting
+		// for relayed (cross-tree) paths would deadlock-by-creep: with
+		// mutual parent pairs across sibling trees, each operator would
+		// wait for the other's hold plus slack, ratcheting result latency
+		// without bound. Stragglers keep moving; only the root waits for
+		// them.
+		p.fab.Stats.Relayed++
+		inst.forward(s, env.Tree, env.TTLDown)
+		return
+	}
+	inst.observe(s, now)
+	inst.absorb(s)
+}
+
+// --- Dynamic tuple striping (§3.3) ---
+
+// routeNew sends a freshly created (merged) summary toward the root,
+// striping across trees in round-robin order and falling back to the
+// staged policy when the preferred parent is unreachable.
+func (inst *instance) routeNew(s tuple.Summary) {
+	if !inst.wired {
+		inst.peer.fab.Stats.Dropped++
+		return
+	}
+	s.Levels = tuple.MergeLevels(s.Levels, inst.ownLevels())
+	d := len(inst.nb.Parents)
+	if inst.peer.fab.Cfg.MaxStage == 1 {
+		// Ablation: stage 1 alone cannot migrate stripes — the tuple uses
+		// its round-robin tree or nothing, like static striping.
+		t := inst.stripe
+		inst.stripe = (t + 1) % d
+		pa := inst.nb.Parents[t]
+		if pa >= 0 && inst.peer.alive(pa) {
+			inst.send(s, t, pa, 0)
+		} else if pa < 0 {
+			// This operator is the root on tree t but not overall; fall
+			// through to another tree to avoid self-delivery artifacts.
+			inst.forward(s, t, 0)
+		} else {
+			inst.peer.fab.Stats.Dropped++
+		}
+		return
+	}
+	// Default policy: stripe newly created tuples round-robin across trees
+	// with a live parent ("the operator migrates the stripe to a
+	// remaining, live parent").
+	for i := 0; i < d; i++ {
+		t := (inst.stripe + i) % d
+		pa := inst.nb.Parents[t]
+		if pa >= 0 && inst.peer.alive(pa) {
+			inst.stripe = (t + 1) % d
+			inst.send(s, t, pa, 0)
+			return
+		}
+	}
+	// No live parent on any tree: let the staged policy explore downward.
+	inst.forward(s, -1, 0)
+}
+
+// forward applies the staged multipath routing policy (Figure 5) for a
+// tuple that arrived on tree `arrived` (-1 for locally created tuples with
+// no preferred tree).
+func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
+	if !inst.wired {
+		inst.peer.fab.Stats.Dropped++
+		return
+	}
+	s.Levels = tuple.MergeLevels(s.Levels, inst.ownLevels())
+	nb := &inst.nb
+	d := len(nb.Parents)
+	tl := func(t int) int {
+		if t < len(s.Levels) && s.Levels[t] >= 0 {
+			return int(s.Levels[t])
+		}
+		return math.MaxInt32 // never visited: no constraint
+	}
+	ol := func(t int) int { return nb.Levels[t] }
+	liveParent := func(t int) bool {
+		return nb.Parents[t] >= 0 && inst.peer.alive(nb.Parents[t])
+	}
+
+	maxStage := inst.peer.fab.Cfg.MaxStage
+	if maxStage < 1 {
+		maxStage = 4
+	}
+	// Stage 1 — same tree: route to P(t).
+	if arrived >= 0 && liveParent(arrived) {
+		inst.send(s, arrived, nb.Parents[arrived], ttlDown)
+		return
+	}
+	// Stage 2 — up*: a tree at least as close to the root as the arrival
+	// tree; choose the minimum level.
+	if arrived >= 0 && maxStage >= 2 {
+		best, bestLevel := -1, math.MaxInt32
+		for t := 0; t < d; t++ {
+			if t != arrived && liveParent(t) && ol(t) <= tl(arrived) && ol(t) < bestLevel {
+				best, bestLevel = t, ol(t)
+			}
+		}
+		if best >= 0 {
+			inst.send(s, best, nb.Parents[best], ttlDown)
+			return
+		}
+	}
+	// Stage 3 — flex: forward progress on any tree not yet re-entered at a
+	// visited level.
+	if maxStage >= 3 {
+		best, bestLevel := -1, math.MaxInt32
+		for t := 0; t < d; t++ {
+			if t != arrived && liveParent(t) && ol(t) <= tl(t) && ol(t) < bestLevel {
+				best, bestLevel = t, ol(t)
+			}
+		}
+		if best >= 0 {
+			inst.send(s, best, nb.Parents[best], ttlDown)
+			return
+		}
+	}
+	// Stage 4 — flex down: descend to a live child, bounded by TTL-down.
+	if maxStage >= 4 && int(ttlDown) < inst.peer.fab.Cfg.TTLDownMax {
+		for t := 0; t < d; t++ {
+			if ol(t) > tl(t) {
+				continue
+			}
+			for _, c := range nb.Children[t] {
+				if inst.peer.alive(c) {
+					inst.peer.fab.Stats.FlexDownHops++
+					inst.send(s, t, c, ttlDown+1)
+					return
+				}
+			}
+		}
+	}
+	// Stage 5 — drop.
+	inst.peer.fab.Stats.Dropped++
+}
+
+// send transmits the summary on tree t, recording the level visited.
+func (inst *instance) send(s tuple.Summary, t, to int, ttlDown uint8) {
+	if t < len(s.Levels) {
+		s.Levels[t] = int16(inst.nb.Levels[t])
+	}
+	env := &envelope{S: s, Tree: t, TTLDown: ttlDown, SentSim: inst.peer.fab.Sim.Now()}
+	inst.peer.fab.send(inst.peer.id, to, netem.ClassData, env)
+}

@@ -1,0 +1,262 @@
+package mortar
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/vclock"
+)
+
+// Peer is one Mortar process: a single-threaded event-driven actor hosting
+// query operators. All its methods run from simulator callbacks.
+type Peer struct {
+	fab   *Fabric
+	id    int
+	host  netem.NodeID
+	clock vclock.Clock
+
+	insts   map[string]*instance
+	removed map[string]uint64 // cached query removals: name -> seq
+
+	// Liveness: sim time we last heard anything from a neighbor.
+	lastHeard map[int]time.Duration
+	beat      uint64
+	hbTicker  stoppable
+
+	// Duplicate suppression (§4.3 requires the transport to suppress
+	// duplicates): highest seq seen per sender for heartbeats.
+	hbSeqSeen map[int]uint64
+	hbSeqOut  uint64
+
+	// pendingTopo tracks queries awaiting a topology reply from their root.
+	pendingTopo map[string]bool
+}
+
+type stoppable interface{ Stop() }
+
+func newPeer(f *Fabric, id int, host netem.NodeID, ck vclock.Clock) *Peer {
+	p := &Peer{
+		fab:         f,
+		id:          id,
+		host:        host,
+		clock:       ck,
+		insts:       make(map[string]*instance),
+		removed:     make(map[string]uint64),
+		lastHeard:   make(map[int]time.Duration),
+		hbSeqSeen:   make(map[int]uint64),
+		pendingTopo: make(map[string]bool),
+	}
+	return p
+}
+
+// ID returns the peer's fabric index.
+func (p *Peer) ID() int { return p.id }
+
+// Clock returns the peer's local clock model.
+func (p *Peer) Clock() vclock.Clock { return p.clock }
+
+// localNow is the node's reported wall-clock time (offset + skew applied).
+func (p *Peer) localNow() time.Duration { return p.clock.Reported(p.fab.Sim.Now()) }
+
+// simDelayForLocal converts a local-clock duration into simulator time
+// (a fast clock's second passes in less than a true second).
+func (p *Peer) simDelayForLocal(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) / p.clock.Skew)
+}
+
+// alive reports whether a neighbor is presumed reachable: heard from within
+// the liveness window.
+func (p *Peer) alive(other int) bool {
+	last, ok := p.lastHeard[other]
+	if !ok {
+		return false
+	}
+	window := time.Duration(float64(p.fab.Cfg.HeartbeatPeriod) * p.fab.Cfg.LivenessMultiple)
+	return p.fab.Sim.Now()-last < window
+}
+
+// markHeard refreshes a neighbor's liveness.
+func (p *Peer) markHeard(other int) { p.lastHeard[other] = p.fab.Sim.Now() }
+
+// deliver is the netem handler: dispatch by message type.
+func (p *Peer) deliver(from netem.NodeID, payload any, size int) {
+	src, ok := p.fab.peerOf[from]
+	if !ok {
+		return
+	}
+	switch m := payload.(type) {
+	case *envelope:
+		p.markHeard(src)
+		p.handleSummary(src, m)
+	case msgHeartbeat:
+		p.handleHeartbeat(src, m)
+	case msgInstall:
+		p.handleInstall(src, m)
+	case msgRemove:
+		p.handleRemove(src, m)
+	case msgReconSummary:
+		p.markHeard(src)
+		p.handleReconSummary(src, m)
+	case msgReconDefs:
+		p.markHeard(src)
+		p.handleReconDefs(src, m)
+	case msgTopoRequest:
+		p.handleTopoRequest(src, m)
+	case msgTopoReply:
+		p.handleTopoReply(src, m)
+	}
+}
+
+// --- Heartbeats (§3.3) ---
+
+// ensureHeartbeats starts the heartbeat ticker once the peer has any
+// children to serve.
+func (p *Peer) ensureHeartbeats() {
+	if p.hbTicker != nil {
+		return
+	}
+	p.hbTicker = p.fab.Sim.Every(p.fab.Cfg.HeartbeatPeriod, p.sendHeartbeats)
+}
+
+// uniqueChildren returns the distinct peers this node parents in any tree
+// of any installed query — the set it must heartbeat. Sharing across
+// queries and sibling trees is what makes overhead scale sub-linearly
+// (Figure 13).
+func (p *Peer) uniqueChildren() []int {
+	set := map[int]struct{}{}
+	for _, inst := range p.insts {
+		if !inst.wired {
+			continue
+		}
+		for _, kids := range inst.nb.Children {
+			for _, c := range kids {
+				set[c] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// uniqueParents returns the distinct peers this node expects heartbeats
+// from.
+func (p *Peer) uniqueParents() []int {
+	set := map[int]struct{}{}
+	for _, inst := range p.insts {
+		if !inst.wired {
+			continue
+		}
+		for _, pa := range inst.nb.Parents {
+			if pa >= 0 {
+				set[pa] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for pa := range set {
+		out = append(out, pa)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (p *Peer) sendHeartbeats() {
+	p.beat++
+	p.hbSeqOut++
+	withHash := p.fab.Cfg.ReconcileEveryBeats > 0 && p.beat%uint64(p.fab.Cfg.ReconcileEveryBeats) == 0
+	if withHash {
+		p.retryPendingTopo()
+	}
+	for _, c := range p.uniqueChildren() {
+		hb := msgHeartbeat{Seq: p.hbSeqOut}
+		if withHash {
+			hb.Hash = p.pairHashAsParent(c)
+		}
+		p.fab.send(p.id, c, netem.ClassControl, hb)
+	}
+	if withHash {
+		// Probe silent parents with our summary so a recovered parent that
+		// lost its query state can adopt it (§6.1: reconciliation works in
+		// both directions; child-to-parent comparisons ride the data flow).
+		for _, pa := range p.uniqueParents() {
+			if !p.alive(pa) {
+				p.fab.send(p.id, pa, netem.ClassControl, p.reconSummary())
+			}
+		}
+	}
+}
+
+// pairHashAsParent hashes (name, seq) over queries in which child is one of
+// this node's children — the queries the pair shares from the parent side.
+func (p *Peer) pairHashAsParent(child int) uint64 {
+	return p.hashQueries(func(inst *instance) bool {
+		for _, kids := range inst.nb.Children {
+			for _, c := range kids {
+				if c == child {
+					return true
+				}
+			}
+		}
+		return false
+	})
+}
+
+// pairHashAsChild hashes over queries in which parent is one of this node's
+// parents.
+func (p *Peer) pairHashAsChild(parent int) uint64 {
+	return p.hashQueries(func(inst *instance) bool {
+		for _, pa := range inst.nb.Parents {
+			if pa == parent {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func (p *Peer) hashQueries(include func(*instance) bool) uint64 {
+	names := make([]string, 0, len(p.insts))
+	for name, inst := range p.insts {
+		if inst.wired && include(inst) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		h.Write([]byte(name))
+		var seqb [8]byte
+		seq := p.insts[name].meta.Seq
+		for i := range seqb {
+			seqb[i] = byte(seq >> (8 * i))
+		}
+		h.Write(seqb[:])
+		h.Write([]byte{0})
+	}
+	// Reserve 0 for "no hash piggybacked".
+	v := h.Sum64()
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+func (p *Peer) handleHeartbeat(src int, m msgHeartbeat) {
+	if m.Seq <= p.hbSeqSeen[src] {
+		return // duplicate-suppressing transport
+	}
+	p.hbSeqSeen[src] = m.Seq
+	p.markHeard(src)
+	if m.Hash != 0 && m.Hash != p.pairHashAsChild(src) {
+		p.fab.send(p.id, src, netem.ClassControl, p.reconSummary())
+	}
+}

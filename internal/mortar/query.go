@@ -1,0 +1,169 @@
+// Package mortar is the core of this reproduction: the Mortar peer runtime.
+// It glues the substrates together into the system the paper describes —
+// continuous queries planned onto static tree sets (internal/plan), tuples
+// striped dynamically across the trees (§3.3), time-division data
+// partitioning through per-operator time-space lists (§4, internal/tslist),
+// syncless age-based indexing (§5), shared heartbeats, and pair-wise
+// reconciliation for eventually consistent query installation (§6).
+//
+// Peers run as single-threaded event-driven actors over an eventsim-driven
+// netem network, mirroring the prototype's SEDA design. The same Fabric can
+// be driven in accelerated virtual time (experiments) or paced to the wall
+// clock (examples).
+package mortar
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// QueryMeta is the part of a query definition every hosting peer keeps: the
+// operator type, its query-specific arguments, and the window. It is small
+// and travels in install and reconciliation messages; tree topology stays
+// at the query root, which acts as the topology server (§6.1).
+type QueryMeta struct {
+	// Name identifies the query; the storage layer guarantees single-writer
+	// semantics per name.
+	Name string
+	// Seq is the management command sequence number issued by the object
+	// store; peers use it to order installs against removals.
+	Seq uint64
+	// OpName and OpArgs choose the in-network operator from the registry.
+	OpName string
+	OpArgs []string
+	// Window is the operator's sliding window.
+	Window tuple.WindowSpec
+	// FilterKey, when non-empty, makes source operators drop raw tuples
+	// whose Key differs (the Wi-Fi select stage, §7.4).
+	FilterKey string
+	// Root is the peer hosting the root operator and topology service.
+	Root int
+	// IssuedSim records when the query was issued. Installing peers
+	// subtract the install message's age from their reference clock so
+	// syncless indices share an epoch despite install deltas (§5.1: "we
+	// correct for this effect by tracking the age of the query
+	// installation message").
+	IssuedSim time.Duration
+}
+
+// QueryDef is the full compiled query: metadata plus the planned tree set
+// and the member list mapping tree indices to peer IDs (queries are scoped:
+// only the nodes that provide data participate, §2.1). Only the issuing
+// peer and the query root hold it.
+type QueryDef struct {
+	Meta QueryMeta
+	// Trees is the planned tree set over member indices 0..len(Members)-1.
+	Trees *plan.Set
+	// Members maps member index to fabric peer ID.
+	Members []int
+}
+
+// Validate checks the definition before installation.
+func (d *QueryDef) Validate() error {
+	if d.Meta.Name == "" {
+		return fmt.Errorf("mortar: query needs a name")
+	}
+	if !ops.Known(d.Meta.OpName) {
+		return fmt.Errorf("mortar: unknown operator %q", d.Meta.OpName)
+	}
+	if err := d.Meta.Window.Validate(); err != nil {
+		return err
+	}
+	if d.Trees == nil || d.Trees.D() < 1 {
+		return fmt.Errorf("mortar: query needs a planned tree set")
+	}
+	if len(d.Members) != d.Trees.NumPeers() {
+		return fmt.Errorf("mortar: %d members for %d tree peers", len(d.Members), d.Trees.NumPeers())
+	}
+	rootIdx := d.Trees.Trees[0].Root
+	if d.Meta.Root != d.Members[rootIdx] {
+		return fmt.Errorf("mortar: meta root %d != tree root peer %d", d.Meta.Root, d.Members[rootIdx])
+	}
+	return nil
+}
+
+// memberIndex returns the tree index of a peer, or -1 if the peer is not in
+// the query's node set.
+func (d *QueryDef) memberIndex(peer int) int {
+	for i, m := range d.Members {
+		if m == peer {
+			return i
+		}
+	}
+	return -1
+}
+
+// neighbors is one peer's position in a query's tree set: its parent,
+// children, and level per tree. This is what the install multicast carries
+// per node and what the topology service returns during recovery.
+type neighbors struct {
+	Parents  []int   // per tree; -1 at the root
+	Children [][]int // per tree
+	Levels   []int   // per tree
+}
+
+// neighborsFor extracts a member's position, translating member indices to
+// peer IDs.
+func neighborsFor(d *QueryDef, memberIdx int) neighbors {
+	s := d.Trees
+	nb := neighbors{
+		Parents:  make([]int, s.D()),
+		Children: make([][]int, s.D()),
+		Levels:   make([]int, s.D()),
+	}
+	for i, t := range s.Trees {
+		if pa := t.Parent[memberIdx]; pa >= 0 {
+			nb.Parents[i] = d.Members[pa]
+		} else {
+			nb.Parents[i] = -1
+		}
+		for _, c := range t.Children[memberIdx] {
+			nb.Children[i] = append(nb.Children[i], d.Members[c])
+		}
+		nb.Levels[i] = t.Level[memberIdx]
+	}
+	return nb
+}
+
+// wireSize estimates the encoded size of a neighbors record: one varint per
+// parent/level plus each child id.
+func (nb neighbors) wireSize() int {
+	n := 0
+	for i := range nb.Parents {
+		n += 3 + 3 // parent + level varints
+		n += 3 * len(nb.Children[i])
+	}
+	return n
+}
+
+// metaWireSize estimates the encoded size of query metadata.
+func (m QueryMeta) metaWireSize() int {
+	n := len(m.Name) + len(m.OpName) + len(m.FilterKey) + 16
+	for _, a := range m.OpArgs {
+		n += len(a) + 1
+	}
+	return n
+}
+
+// Result is one answer emitted by a query's root operator.
+type Result struct {
+	Query string
+	// WindowIndex is the root-local logical slide number (time windows).
+	WindowIndex int64
+	// Index is the validity interval in the root's local frame.
+	Index tuple.Index
+	// Value is the finalized user-facing value.
+	Value tuple.Value
+	// Count is the completeness field: participants reflected in the value.
+	Count int
+	// Hops is the maximum overlay path length among merged tuples.
+	Hops int
+	// At is the simulation time the root reported the result.
+	At time.Duration
+	// Age is the averaged constituent age at report time.
+	Age time.Duration
+}

@@ -1,0 +1,343 @@
+package mortar
+
+import (
+	"fmt"
+
+	"repro/internal/netem"
+)
+
+// This file implements query persistence (§6): the chunked install/remove
+// multicast and the pair-wise reconciliation protocol that guarantees
+// eventual installation and removal.
+
+// chunk is one component of the install multicast: the set of member peers
+// plus the tree edges used to forward within the component.
+type chunk struct {
+	head    int
+	members map[int]neighbors
+	forward map[int][]int
+}
+
+// buildChunks partitions the primary tree into roughly InstallChunks
+// connected components in BFS order; each component is multicast in
+// parallel down its tree edges (§6: "the peer breaks the tree into n
+// components and multicasts the query down each component in parallel").
+func buildChunks(def *QueryDef, nchunks int) []*chunk {
+	primary := def.Trees.Trees[0]
+	n := primary.NumPeers()
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	target := (n + nchunks - 1) / nchunks
+
+	chunkOf := make([]int, n)
+	for i := range chunkOf {
+		chunkOf[i] = -1
+	}
+	var chunks []*chunk
+	newChunk := func(head int) int {
+		c := &chunk{
+			head:    def.Members[head],
+			members: map[int]neighbors{},
+			forward: map[int][]int{},
+		}
+		chunks = append(chunks, c)
+		return len(chunks) - 1
+	}
+	sizes := []int{}
+	queue := []int{primary.Root}
+	chunkOf[primary.Root] = newChunk(primary.Root)
+	sizes = append(sizes, 0)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		ci := chunkOf[v]
+		c := chunks[ci]
+		peer := def.Members[v]
+		c.members[peer] = neighborsFor(def, v)
+		sizes[ci]++
+		for _, ch := range primary.Children[v] {
+			if sizes[ci] >= target {
+				// Component full: the child heads a new component.
+				chunkOf[ch] = newChunk(ch)
+				sizes = append(sizes, 0)
+			} else {
+				chunkOf[ch] = ci
+				c.forward[peer] = append(c.forward[peer], def.Members[ch])
+			}
+			queue = append(queue, ch)
+		}
+	}
+	return chunks
+}
+
+// subChunk restricts an install message to the subtree reachable from a
+// forwarding target, so forwarded messages shrink as they descend.
+func subChunk(m msgInstall, from int) msgInstall {
+	out := msgInstall{
+		Meta:    m.Meta,
+		Members: map[int]neighbors{},
+		Forward: map[int][]int{},
+	}
+	queue := []int{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if nb, ok := m.Members[v]; ok {
+			out.Members[v] = nb
+		}
+		if kids, ok := m.Forward[v]; ok {
+			out.Forward[v] = kids
+			queue = append(queue, kids...)
+		}
+	}
+	return out
+}
+
+// startInstall runs at the issuing peer (the query root): install locally,
+// then multicast.
+func (p *Peer) startInstall(def *QueryDef) {
+	chunks := buildChunks(def, p.fab.Cfg.InstallChunks)
+	// Install locally first (the issuer is a member).
+	for _, c := range chunks {
+		if nb, ok := c.members[p.id]; ok {
+			p.installLocal(def.Meta, &nb, def)
+		}
+	}
+	for _, c := range chunks {
+		m := msgInstall{Meta: def.Meta, Members: c.members, Forward: c.forward}
+		if c.head == p.id {
+			// Forward our own chunk's children directly.
+			for _, next := range c.forward[p.id] {
+				p.fab.send(p.id, next, netem.ClassControl, subChunk(m, next))
+			}
+			continue
+		}
+		p.fab.send(p.id, c.head, netem.ClassControl, m)
+	}
+}
+
+// installLocal creates (or refreshes) the operator instance. def is non-nil
+// only at the root/issuer.
+func (p *Peer) installLocal(meta QueryMeta, nb *neighbors, def *QueryDef) {
+	if seq, ok := p.removed[meta.Name]; ok && seq >= meta.Seq {
+		return // removal supersedes this install
+	}
+	if old, ok := p.insts[meta.Name]; ok {
+		if old.meta.Seq >= meta.Seq {
+			if nb != nil && !old.wired {
+				old.wire(*nb)
+			}
+			return
+		}
+		old.stop()
+		delete(p.insts, meta.Name)
+	}
+	inst, err := p.newInstance(meta)
+	if err != nil {
+		return // unknown operator on this peer; reconciliation may retry
+	}
+	inst.def = def
+	p.insts[meta.Name] = inst
+	if nb != nil {
+		inst.wire(*nb)
+	} else {
+		p.pendingTopo[meta.Name] = true
+		p.fab.send(p.id, meta.Root, netem.ClassControl, msgTopoRequest{Query: meta.Name, Peer: p.id})
+	}
+	p.ensureHeartbeats()
+	inst.start()
+}
+
+// wire attaches the instance to its tree positions and joins the heartbeat
+// mesh.
+func (inst *instance) wire(nb neighbors) {
+	inst.nb = nb
+	inst.wired = true
+	p := inst.peer
+	for _, pa := range nb.Parents {
+		if pa >= 0 {
+			p.markHeard(pa)
+		}
+	}
+	for _, kids := range nb.Children {
+		for _, c := range kids {
+			p.markHeard(c)
+		}
+	}
+	p.ensureHeartbeats()
+	delete(p.pendingTopo, inst.meta.Name)
+}
+
+func (p *Peer) handleInstall(src int, m msgInstall) {
+	p.markHeard(src)
+	nb, ok := m.Members[p.id]
+	if ok {
+		p.installLocal(m.Meta, &nb, nil)
+	}
+	for _, next := range m.Forward[p.id] {
+		p.fab.send(p.id, next, netem.ClassControl, subChunk(m, next))
+	}
+}
+
+// startRemove multicasts removal using the definition cached at the root.
+func (p *Peer) startRemove(name string, seq uint64) error {
+	inst, ok := p.insts[name]
+	if !ok || inst.def == nil {
+		return fmt.Errorf("mortar: peer %d does not hold the definition of %q", p.id, name)
+	}
+	chunks := buildChunks(inst.def, p.fab.Cfg.InstallChunks)
+	p.removeLocal(name, seq)
+	for _, c := range chunks {
+		m := msgRemove{Name: name, Seq: seq, Forward: c.forward}
+		if c.head == p.id {
+			for _, next := range c.forward[p.id] {
+				p.fab.send(p.id, next, netem.ClassControl, m)
+			}
+			continue
+		}
+		p.fab.send(p.id, c.head, netem.ClassControl, m)
+	}
+	return nil
+}
+
+func (p *Peer) removeLocal(name string, seq uint64) {
+	if old, ok := p.removed[name]; ok && old >= seq {
+		return
+	}
+	p.removed[name] = seq
+	if inst, ok := p.insts[name]; ok && inst.meta.Seq < seq {
+		inst.stop()
+		delete(p.insts, name)
+	}
+	delete(p.pendingTopo, name)
+}
+
+func (p *Peer) handleRemove(src int, m msgRemove) {
+	p.markHeard(src)
+	p.removeLocal(m.Name, m.Seq)
+	for _, next := range m.Forward[p.id] {
+		p.fab.send(p.id, next, netem.ClassControl, m)
+	}
+}
+
+// --- Pair-wise reconciliation (§6.1) ---
+
+// reconSummary describes this peer's installed queries and cached
+// removals.
+func (p *Peer) reconSummary() msgReconSummary {
+	m := msgReconSummary{
+		Installed: make(map[string]uint64, len(p.insts)),
+		Removed:   make(map[string]uint64, len(p.removed)),
+	}
+	for name, inst := range p.insts {
+		m.Installed[name] = inst.meta.Seq
+		m.Metas = append(m.Metas, inst.meta)
+	}
+	for name, seq := range p.removed {
+		m.Removed[name] = seq
+	}
+	return m
+}
+
+// handleReconSummary performs the reconciliation set computation: adopt
+// installs we missed (IC), apply removals we missed (RC), and reply with
+// what the sender is missing.
+func (p *Peer) handleReconSummary(src int, m msgReconSummary) {
+	// RC for us: removals the peer knows that supersede our installs.
+	for name, seq := range m.Removed {
+		p.removeLocal(name, seq)
+	}
+	// IC for us: installs we missed (and have not removed at >= seq).
+	for _, meta := range m.Metas {
+		if inst, ok := p.insts[meta.Name]; ok && inst.meta.Seq >= meta.Seq {
+			continue
+		}
+		if seq, ok := p.removed[meta.Name]; ok && seq >= meta.Seq {
+			continue
+		}
+		p.installLocal(meta, nil, nil)
+	}
+	// Reply with what the sender is missing.
+	reply := msgReconDefs{Removed: map[string]uint64{}}
+	for name, inst := range p.insts {
+		if seq, ok := m.Installed[name]; !ok || seq < inst.meta.Seq {
+			if rseq, ok := m.Removed[name]; ok && rseq >= inst.meta.Seq {
+				continue
+			}
+			reply.Metas = append(reply.Metas, inst.meta)
+		}
+	}
+	for name, seq := range p.removed {
+		if old, ok := m.Removed[name]; !ok || old < seq {
+			reply.Removed[name] = seq
+		}
+	}
+	if len(reply.Metas) > 0 || len(reply.Removed) > 0 {
+		p.fab.send(p.id, src, netem.ClassControl, reply)
+	}
+}
+
+func (p *Peer) handleReconDefs(src int, m msgReconDefs) {
+	for name, seq := range m.Removed {
+		p.removeLocal(name, seq)
+	}
+	for _, meta := range m.Metas {
+		if inst, ok := p.insts[meta.Name]; ok && inst.meta.Seq >= meta.Seq {
+			continue
+		}
+		if seq, ok := p.removed[meta.Name]; ok && seq >= meta.Seq {
+			continue
+		}
+		p.installLocal(meta, nil, nil)
+	}
+}
+
+// --- Topology service (§6.1) ---
+
+// handleTopoRequest runs at a query root: return the requester's
+// parent/child sets per tree, "acting as a topology server".
+func (p *Peer) handleTopoRequest(src int, m msgTopoRequest) {
+	if seq, ok := p.removed[m.Query]; ok {
+		p.fab.send(p.id, src, netem.ClassControl, msgTopoReply{Query: m.Query, Seq: seq, Unknown: true})
+		return
+	}
+	inst, ok := p.insts[m.Query]
+	if !ok || inst.def == nil {
+		return // not the topology server for this query; requester retries
+	}
+	mi := inst.def.memberIndex(m.Peer)
+	if mi < 0 {
+		p.fab.send(p.id, src, netem.ClassControl, msgTopoReply{Query: m.Query, Seq: inst.meta.Seq, Unknown: true})
+		return
+	}
+	p.fab.send(p.id, src, netem.ClassControl, msgTopoReply{
+		Query: m.Query,
+		Seq:   inst.meta.Seq,
+		NB:    neighborsFor(inst.def, mi),
+	})
+}
+
+func (p *Peer) handleTopoReply(src int, m msgTopoReply) {
+	inst, ok := p.insts[m.Query]
+	if !ok {
+		return
+	}
+	if m.Unknown {
+		p.removeLocal(m.Query, m.Seq)
+		return
+	}
+	if !inst.wired {
+		inst.wire(m.NB)
+	}
+}
+
+// retryPendingTopo re-requests tree positions for adopted-but-unwired
+// queries; called on reconciliation beats.
+func (p *Peer) retryPendingTopo() {
+	for name := range p.pendingTopo {
+		if inst, ok := p.insts[name]; ok && !inst.wired {
+			p.fab.send(p.id, inst.meta.Root, netem.ClassControl, msgTopoRequest{Query: name, Peer: p.id})
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package mortar
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/netem"
+	"repro/internal/tuple"
+)
+
+// lossyTestbed builds a fabric whose links drop a fraction of packets —
+// Mortar is best-effort and must degrade gracefully, not wedge.
+func lossyTestbed(t *testing.T, hosts int, loss float64, seed int64) *Fabric {
+	t.Helper()
+	sim := eventsim.New(seed)
+	rng := rand.New(rand.NewSource(seed))
+	p := netem.PaperTopology(hosts)
+	p.Stubs = 8
+	p.Transits = 2
+	p.Loss = loss
+	topo := netem.GenerateTransitStub(p, rng)
+	net := netem.New(sim, topo)
+	fab, err := NewFabric(net, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fab
+}
+
+func TestLossyNetworkDegradesGracefully(t *testing.T) {
+	// 1% per-link loss compounds over ~10-link physical paths per overlay
+	// hop; best-effort Mortar must keep reporting with degraded
+	// completeness, never wedge.
+	fab := lossyTestbed(t, 40, 0.01, 31)
+	var results []Result
+	fab.OnResult = func(r Result) { results = append(results, r) }
+	sumQuery(t, fab, 4, 4)
+	fab.Sim.RunFor(60 * time.Second)
+	if len(results) < 30 {
+		t.Fatalf("only %d results under 1%% loss", len(results))
+	}
+	var tail float64
+	for _, r := range results[len(results)-10:] {
+		tail += float64(r.Count)
+	}
+	tail /= 10
+	if tail < 28 {
+		t.Fatalf("mean completeness %.1f of 40 under 1%% loss", tail)
+	}
+}
+
+func TestConcurrentQueriesShareHeartbeats(t *testing.T) {
+	fab := testbed(t, 40, 32, DefaultConfig(), nil)
+	counts := map[string]int{}
+	fab.OnResult = func(r Result) {
+		if r.Count == 40 {
+			counts[r.Query]++
+		}
+	}
+	coords := uniformCoords(40, 5)
+	for qi, op := range []string{"sum", "max", "avg"} {
+		meta := QueryMeta{
+			Name:      op + "-q",
+			Seq:       uint64(qi + 1),
+			OpName:    op,
+			Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+			Root:      0,
+			IssuedSim: fab.Sim.Now(),
+		}
+		def, err := fab.Compile(meta, nil, coords, 8, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fab.Install(0, def); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		startSensor(fab, i)
+	}
+	fab.Sim.RunFor(40 * time.Second)
+	for _, op := range []string{"sum-q", "max-q", "avg-q"} {
+		if counts[op] < 10 {
+			t.Fatalf("query %s reached full completeness only %d times", op, counts[op])
+		}
+	}
+	// Heartbeat traffic must be shared: with 3 queries over similar trees,
+	// control bytes should be well under 3x a single query's.
+	ctl3 := fab.Net.Accounting().TotalBytes(netem.ClassControl)
+
+	fab1 := testbed(t, 40, 32, DefaultConfig(), nil)
+	meta := QueryMeta{
+		Name: "solo", Seq: 1, OpName: "sum",
+		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+		Root:      0,
+		IssuedSim: fab1.Sim.Now(),
+	}
+	def, _ := fab1.Compile(meta, nil, coords, 8, 2)
+	if err := fab1.Install(0, def); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		startSensor(fab1, i)
+	}
+	fab1.Sim.RunFor(40 * time.Second)
+	ctl1 := fab1.Net.Accounting().TotalBytes(netem.ClassControl)
+	// Trees planned over the same coordinates are similar but not
+	// identical (k-means seeding is randomized), so sharing is partial:
+	// well under 3x, not 1x.
+	if float64(ctl3) > 2.8*float64(ctl1) {
+		t.Fatalf("3 queries cost %d control bytes vs %d for 1 — heartbeats not shared", ctl3, ctl1)
+	}
+}
+
+func TestReinstallHigherSeqReplaces(t *testing.T) {
+	fab := testbed(t, 20, 33, DefaultConfig(), nil)
+	coords := uniformCoords(20, 9)
+	mk := func(seq uint64, op string) *QueryDef {
+		meta := QueryMeta{
+			Name: "q", Seq: seq, OpName: op,
+			Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+			Root:      0,
+			IssuedSim: fab.Sim.Now(),
+		}
+		def, err := fab.Compile(meta, nil, coords, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return def
+	}
+	if err := fab.Install(0, mk(1, "sum")); err != nil {
+		t.Fatal(err)
+	}
+	fab.Sim.RunFor(5 * time.Second)
+	// Re-issue the query under the same name with a higher sequence.
+	if err := fab.Install(0, mk(3, "max")); err != nil {
+		t.Fatal(err)
+	}
+	fab.Sim.RunFor(10 * time.Second)
+	replaced := 0
+	for i := 0; i < 20; i++ {
+		if inst, ok := fab.Peer(i).insts["q"]; ok && inst.meta.Seq == 3 {
+			replaced++
+		}
+	}
+	if replaced != 20 {
+		t.Fatalf("only %d/20 peers upgraded to seq 3", replaced)
+	}
+	// A stale lower-seq install arriving later must not downgrade.
+	fab.Peer(5).installLocal(mk(2, "sum").Meta, nil, nil)
+	if fab.Peer(5).insts["q"].meta.Seq != 3 {
+		t.Fatal("stale install downgraded the query")
+	}
+}
+
+func TestRemoveSupersedesLaterLowSeqInstall(t *testing.T) {
+	fab := testbed(t, 20, 34, DefaultConfig(), nil)
+	coords := uniformCoords(20, 9)
+	meta := QueryMeta{
+		Name: "q", Seq: 1, OpName: "sum",
+		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+		Root:      0,
+		IssuedSim: fab.Sim.Now(),
+	}
+	def, _ := fab.Compile(meta, nil, coords, 4, 2)
+	if err := fab.Install(0, def); err != nil {
+		t.Fatal(err)
+	}
+	fab.Sim.RunFor(3 * time.Second)
+	if err := fab.Remove(0, "q", 2); err != nil {
+		t.Fatal(err)
+	}
+	fab.Sim.RunFor(5 * time.Second)
+	// The cached removal (seq 2) must beat a replayed install (seq 1).
+	fab.Peer(7).installLocal(meta, nil, nil)
+	if _, ok := fab.Peer(7).insts["q"]; ok {
+		t.Fatal("removed query re-installed by a stale message")
+	}
+	if got := fab.InstalledCount("q"); got != 0 {
+		t.Fatalf("%d peers still host the removed query", got)
+	}
+}
+
+func TestResultAgesArePlausible(t *testing.T) {
+	fab := testbed(t, 30, 35, DefaultConfig(), nil)
+	var results []Result
+	fab.OnResult = func(r Result) { results = append(results, r) }
+	sumQuery(t, fab, 4, 2)
+	fab.Sim.RunFor(40 * time.Second)
+	for _, r := range results[5:] {
+		if r.Age <= 0 || r.Age > 15*time.Second {
+			t.Fatalf("result age %v implausible", r.Age)
+		}
+		if r.Hops < 0 || r.Hops > 12 {
+			t.Fatalf("hops %d implausible", r.Hops)
+		}
+	}
+}

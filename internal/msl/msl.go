@@ -1,0 +1,362 @@
+// Package msl implements the Mortar Stream Language, the text-based form
+// of the "boxes and arrows" query specification the prototype exposes
+// (§2.2). A program is a sequence of query statements; each statement
+// names one in-network operator, its source (raw sensors or another
+// query's output stream), an optional select filter, the sliding window,
+// and planner knobs.
+//
+// The paper's Wi-Fi location service "locates a MAC using three lines of
+// the Mortar Stream Language" (§7.4); in this implementation:
+//
+//	query frames as topk(3, 0) from sensors where key = "aa:bb:cc:dd:ee:ff" window time 1s slide 1s
+//	query loud as trilat() from frames window time 1s slide 1s
+//	query trail as union() from loud window time 5s slide 5s
+package msl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// Statement is one parsed query definition.
+type Statement struct {
+	// Name is the query's unique name.
+	Name string
+	// Op and Args select the in-network operator.
+	Op   string
+	Args []string
+	// Source is "sensors" for raw streams, or the name of another query to
+	// subscribe to.
+	Source string
+	// FilterKey is the select predicate: drop raw tuples whose key
+	// differs. Empty means no filter.
+	FilterKey string
+	// Window is the operator's sliding window.
+	Window tuple.WindowSpec
+	// Trees is the tree-set size D (0 = default).
+	Trees int
+	// BF is the branching factor (0 = default).
+	BF int
+}
+
+// Program is a parsed MSL program.
+type Program struct {
+	Statements []Statement
+}
+
+// SourceSensors is the reserved source name for raw sensor streams.
+const SourceSensors = "sensors"
+
+// Parse compiles MSL source text.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	seen := map[string]bool{}
+	for !p.done() {
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if seen[st.Name] {
+			return nil, fmt.Errorf("msl: duplicate query name %q", st.Name)
+		}
+		seen[st.Name] = true
+		prog.Statements = append(prog.Statements, st)
+	}
+	if len(prog.Statements) == 0 {
+		return nil, fmt.Errorf("msl: empty program")
+	}
+	// Resolve sources: every non-sensor source must name an earlier query.
+	for _, st := range prog.Statements {
+		if st.Source == SourceSensors {
+			continue
+		}
+		if !seen[st.Source] {
+			return nil, fmt.Errorf("msl: query %q subscribes to unknown stream %q", st.Name, st.Source)
+		}
+	}
+	return prog, nil
+}
+
+// --- lexer ---
+
+type token struct {
+	kind string // "word", "string", "punct"
+	text string
+	line int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("msl:%d: unterminated string", line)
+				}
+				j++
+			}
+			if j == len(src) {
+				return nil, fmt.Errorf("msl:%d: unterminated string", line)
+			}
+			toks = append(toks, token{"string", src[i+1 : j], line})
+			i = j + 1
+		case strings.ContainsRune("(),=;", rune(c)):
+			toks = append(toks, token{"punct", string(c), line})
+			i++
+		case isWordChar(c):
+			j := i
+			for j < len(src) && isWordChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{"word", src[i:j], line})
+			i = j
+		default:
+			return nil, fmt.Errorf("msl:%d: unexpected character %q", line, c)
+		}
+	}
+	return toks, nil
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c == '-' || c == '.' || c == ':' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) done() bool {
+	// Skip statement separators.
+	for p.pos < len(p.toks) && p.toks[p.pos].kind == "punct" && p.toks[p.pos].text == ";" {
+		p.pos++
+	}
+	return p.pos >= len(p.toks)
+}
+
+func (p *parser) peek() token {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return token{"eof", "", -1}
+}
+
+func (p *parser) next() token {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expectWord(kw string) error {
+	t := p.next()
+	if t.kind != "word" || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("msl:%d: expected %q, found %q", t.line, kw, t.text)
+	}
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	t := p.next()
+	if t.kind != "punct" || t.text != s {
+		return fmt.Errorf("msl:%d: expected %q, found %q", t.line, s, t.text)
+	}
+	return nil
+}
+
+func (p *parser) statement() (Statement, error) {
+	var st Statement
+	if err := p.expectWord("query"); err != nil {
+		return st, err
+	}
+	name := p.next()
+	if name.kind != "word" {
+		return st, fmt.Errorf("msl:%d: expected query name, found %q", name.line, name.text)
+	}
+	st.Name = name.text
+	if err := p.expectWord("as"); err != nil {
+		return st, err
+	}
+	op := p.next()
+	if op.kind != "word" {
+		return st, fmt.Errorf("msl:%d: expected operator name", op.line)
+	}
+	st.Op = strings.ToLower(op.text)
+	if !ops.Known(st.Op) {
+		return st, fmt.Errorf("msl:%d: unknown operator %q", op.line, st.Op)
+	}
+	if err := p.expectPunct("("); err != nil {
+		return st, err
+	}
+	for p.peek().text != ")" {
+		arg := p.next()
+		if arg.kind != "word" && arg.kind != "string" {
+			return st, fmt.Errorf("msl:%d: bad operator argument %q", arg.line, arg.text)
+		}
+		st.Args = append(st.Args, arg.text)
+		if p.peek().text == "," {
+			p.next()
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return st, err
+	}
+	if err := p.expectWord("from"); err != nil {
+		return st, err
+	}
+	srcTok := p.next()
+	if srcTok.kind != "word" {
+		return st, fmt.Errorf("msl:%d: expected source", srcTok.line)
+	}
+	st.Source = srcTok.text
+	if strings.EqualFold(st.Source, SourceSensors) {
+		st.Source = SourceSensors
+	}
+
+	// Optional clauses in any order: where, window, trees, bf.
+	haveWindow := false
+	for {
+		t := p.peek()
+		if t.kind != "word" {
+			break
+		}
+		switch strings.ToLower(t.text) {
+		case "where":
+			p.next()
+			if err := p.expectWord("key"); err != nil {
+				return st, err
+			}
+			if err := p.expectPunct("="); err != nil {
+				return st, err
+			}
+			v := p.next()
+			if v.kind != "string" {
+				return st, fmt.Errorf("msl:%d: where key = needs a quoted string", v.line)
+			}
+			st.FilterKey = v.text
+		case "window":
+			p.next()
+			w, err := p.window()
+			if err != nil {
+				return st, err
+			}
+			st.Window = w
+			haveWindow = true
+		case "trees":
+			p.next()
+			n, err := p.intWord("trees")
+			if err != nil {
+				return st, err
+			}
+			st.Trees = n
+		case "bf":
+			p.next()
+			n, err := p.intWord("bf")
+			if err != nil {
+				return st, err
+			}
+			st.BF = n
+		case "query":
+			goto doneClauses
+		default:
+			return st, fmt.Errorf("msl:%d: unexpected clause %q", t.line, t.text)
+		}
+	}
+doneClauses:
+	if !haveWindow {
+		return st, fmt.Errorf("msl: query %q has no window clause", st.Name)
+	}
+	if err := st.Window.Validate(); err != nil {
+		return st, fmt.Errorf("msl: query %q: %v", st.Name, err)
+	}
+	return st, nil
+}
+
+func (p *parser) window() (tuple.WindowSpec, error) {
+	var w tuple.WindowSpec
+	t := p.next()
+	switch strings.ToLower(t.text) {
+	case "time":
+		w.Kind = tuple.TimeWindow
+		r, err := p.durWord("range")
+		if err != nil {
+			return w, err
+		}
+		w.Range = r
+		if err := p.expectWord("slide"); err != nil {
+			return w, err
+		}
+		s, err := p.durWord("slide")
+		if err != nil {
+			return w, err
+		}
+		w.Slide = s
+	case "tuples":
+		w.Kind = tuple.TupleWindow
+		n, err := p.intWord("range")
+		if err != nil {
+			return w, err
+		}
+		w.RangeN = n
+		if err := p.expectWord("slide"); err != nil {
+			return w, err
+		}
+		s, err := p.intWord("slide")
+		if err != nil {
+			return w, err
+		}
+		w.SlideN = s
+	default:
+		return w, fmt.Errorf("msl:%d: window must be 'time' or 'tuples', found %q", t.line, t.text)
+	}
+	return w, nil
+}
+
+func (p *parser) durWord(what string) (time.Duration, error) {
+	t := p.next()
+	d, err := time.ParseDuration(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("msl:%d: bad %s duration %q", t.line, what, t.text)
+	}
+	return d, nil
+}
+
+func (p *parser) intWord(what string) (int, error) {
+	t := p.next()
+	n, err := strconv.Atoi(t.text)
+	if err != nil {
+		return 0, fmt.Errorf("msl:%d: bad %s count %q", t.line, what, t.text)
+	}
+	return n, nil
+}

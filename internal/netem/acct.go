@@ -1,0 +1,84 @@
+package netem
+
+import (
+	"time"
+)
+
+// Accounting aggregates bytes crossing links into fixed-width time buckets,
+// per traffic class. Experiments read it back as a "total network load"
+// time series in Mbps — the sum of traffic across all links, which is the
+// metric the paper plots.
+type Accounting struct {
+	bucket  time.Duration
+	byClass [numClasses]map[int64]int64 // bucket index -> bytes
+	total   [numClasses]int64
+	byLink  map[int]int64 // link index -> cumulative bytes (all classes)
+}
+
+// NewAccounting returns accounting with the given bucket width.
+func NewAccounting(bucket time.Duration) *Accounting {
+	a := &Accounting{bucket: bucket, byLink: make(map[int]int64)}
+	for c := range a.byClass {
+		a.byClass[c] = make(map[int64]int64)
+	}
+	return a
+}
+
+// Add records bytes crossing a link at virtual time t.
+func (a *Accounting) Add(t time.Duration, link int, class TrafficClass, bytes int) {
+	idx := int64(t / a.bucket)
+	a.byClass[class][idx] += int64(bytes)
+	a.total[class] += int64(bytes)
+	a.byLink[link] += int64(bytes)
+}
+
+// LinkBytes returns the cumulative bytes that crossed a link.
+func (a *Accounting) LinkBytes(link int) int64 { return a.byLink[link] }
+
+// TotalBytes returns cumulative bytes for a class.
+func (a *Accounting) TotalBytes(class TrafficClass) int64 { return a.total[class] }
+
+// TotalAllBytes returns cumulative bytes across all classes.
+func (a *Accounting) TotalAllBytes() int64 {
+	var s int64
+	for _, v := range a.total {
+		s += v
+	}
+	return s
+}
+
+// Mbps returns the aggregate load in megabits per second during the bucket
+// containing t, summed over the given classes (all classes if none given).
+func (a *Accounting) Mbps(t time.Duration, classes ...TrafficClass) float64 {
+	idx := int64(t / a.bucket)
+	if len(classes) == 0 {
+		classes = []TrafficClass{ClassData, ClassControl}
+	}
+	var bytes int64
+	for _, c := range classes {
+		bytes += a.byClass[c][idx]
+	}
+	return float64(bytes) * 8 / a.bucket.Seconds() / 1e6
+}
+
+// Series returns the Mbps time series over [from, to) at bucket granularity.
+func (a *Accounting) Series(from, to time.Duration, classes ...TrafficClass) []float64 {
+	var out []float64
+	for t := from; t < to; t += a.bucket {
+		out = append(out, a.Mbps(t, classes...))
+	}
+	return out
+}
+
+// MeanMbps returns the average load over [from, to).
+func (a *Accounting) MeanMbps(from, to time.Duration, classes ...TrafficClass) float64 {
+	s := a.Series(from, to, classes...)
+	if len(s) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum / float64(len(s))
+}

@@ -1,0 +1,269 @@
+package netem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/eventsim"
+)
+
+func lineTopo(n int, lat time.Duration) *Topology {
+	t := NewTopology()
+	prev := t.AddNode(Host)
+	for i := 1; i < n; i++ {
+		cur := t.AddNode(Host)
+		t.AddLink(Link{A: prev, B: cur, Latency: lat})
+		prev = cur
+	}
+	return t
+}
+
+func TestDeliveryLatencyOnLine(t *testing.T) {
+	sim := eventsim.New(1)
+	topo := lineTopo(4, 5*time.Millisecond)
+	net := New(sim, topo)
+	var at time.Duration = -1
+	net.Handle(3, func(from NodeID, payload any, size int) {
+		at = sim.Now()
+		if from != 0 || payload.(string) != "hi" || size != 100 {
+			t.Errorf("delivery = from %d payload %v size %d", from, payload, size)
+		}
+	})
+	if !net.Send(0, 3, ClassData, 100, "hi") {
+		t.Fatal("Send returned false")
+	}
+	sim.Run()
+	if at != 15*time.Millisecond {
+		t.Fatalf("delivered at %v, want 15ms", at)
+	}
+}
+
+func TestSerializationDelay(t *testing.T) {
+	sim := eventsim.New(1)
+	topo := NewTopology()
+	a := topo.AddNode(Host)
+	b := topo.AddNode(Host)
+	topo.AddLink(Link{A: a, B: b, Latency: time.Millisecond, Bandwidth: 8000}) // 1 KB/s
+	net := New(sim, topo)
+	net.PerHopOverhead = 0
+	var at time.Duration
+	net.Handle(b, func(NodeID, any, int) { at = sim.Now() })
+	net.Send(a, b, ClassData, 1000, nil) // 1000 B at 1000 B/s = 1 s
+	sim.Run()
+	if at != time.Second+time.Millisecond {
+		t.Fatalf("delivered at %v, want 1.001s", at)
+	}
+}
+
+func TestDownNodeDropsTraffic(t *testing.T) {
+	sim := eventsim.New(1)
+	net := New(sim, lineTopo(3, time.Millisecond))
+	got := 0
+	net.Handle(2, func(NodeID, any, int) { got++ })
+
+	net.SetDown(1, true) // interior node fails
+	net.Send(0, 2, ClassData, 10, nil)
+	sim.Run()
+	if got != 0 {
+		t.Fatal("packet crossed a failed interior node")
+	}
+
+	net.SetDown(1, false)
+	net.SetDown(2, true) // destination fails
+	net.Send(0, 2, ClassData, 10, nil)
+	sim.Run()
+	if got != 0 {
+		t.Fatal("packet delivered to a failed destination")
+	}
+
+	net.SetDown(2, false)
+	net.Send(0, 2, ClassData, 10, nil)
+	sim.Run()
+	if got != 1 {
+		t.Fatal("packet not delivered after recovery")
+	}
+	if net.Down(2) {
+		t.Fatal("Down state stuck")
+	}
+}
+
+func TestDestFailsWhileInFlight(t *testing.T) {
+	sim := eventsim.New(1)
+	net := New(sim, lineTopo(2, 10*time.Millisecond))
+	got := 0
+	net.Handle(1, func(NodeID, any, int) { got++ })
+	net.Send(0, 1, ClassData, 10, nil)
+	sim.After(5*time.Millisecond, func() { net.SetDown(1, true) })
+	sim.Run()
+	if got != 0 {
+		t.Fatal("in-flight packet delivered to node that failed mid-flight")
+	}
+}
+
+func TestLinkDown(t *testing.T) {
+	sim := eventsim.New(1)
+	topo := lineTopo(2, time.Millisecond)
+	net := New(sim, topo)
+	got := 0
+	net.Handle(1, func(NodeID, any, int) { got++ })
+	net.SetLinkDown(0, true)
+	net.Send(0, 1, ClassData, 10, nil)
+	sim.Run()
+	if got != 0 {
+		t.Fatal("packet crossed failed link")
+	}
+	net.SetLinkDown(0, false)
+	net.Send(0, 1, ClassData, 10, nil)
+	sim.Run()
+	if got != 1 {
+		t.Fatal("link recovery broken")
+	}
+}
+
+func TestLossyLinkDropsApproximatelyLossFraction(t *testing.T) {
+	sim := eventsim.New(99)
+	topo := NewTopology()
+	a := topo.AddNode(Host)
+	b := topo.AddNode(Host)
+	topo.AddLink(Link{A: a, B: b, Latency: time.Microsecond, Loss: 0.3})
+	net := New(sim, topo)
+	got := 0
+	net.Handle(b, func(NodeID, any, int) { got++ })
+	const n = 5000
+	for i := 0; i < n; i++ {
+		net.Send(a, b, ClassData, 10, nil)
+	}
+	sim.Run()
+	frac := float64(got) / n
+	if frac < 0.65 || frac > 0.75 {
+		t.Fatalf("delivery fraction = %.3f, want ~0.70", frac)
+	}
+}
+
+func TestAccountingCountsEveryHop(t *testing.T) {
+	sim := eventsim.New(1)
+	net := New(sim, lineTopo(4, time.Millisecond)) // 3 hops
+	net.PerHopOverhead = 0
+	net.Handle(3, func(NodeID, any, int) {})
+	net.Send(0, 3, ClassData, 100, nil)
+	sim.Run()
+	if got := net.Accounting().TotalBytes(ClassData); got != 300 {
+		t.Fatalf("accounted %d bytes, want 300 (100 x 3 hops)", got)
+	}
+}
+
+func TestAccountingSeries(t *testing.T) {
+	a := NewAccounting(time.Second)
+	a.Add(100*time.Millisecond, 0, ClassData, 125000)     // 1 Mbit in bucket 0
+	a.Add(1500*time.Millisecond, 0, ClassControl, 250000) // 2 Mbit in bucket 1
+	if got := a.Mbps(0); got != 1 {
+		t.Fatalf("bucket 0 = %v Mbps, want 1", got)
+	}
+	if got := a.Mbps(time.Second, ClassControl); got != 2 {
+		t.Fatalf("bucket 1 control = %v Mbps, want 2", got)
+	}
+	if got := a.Mbps(time.Second, ClassData); got != 0 {
+		t.Fatalf("bucket 1 data = %v Mbps, want 0", got)
+	}
+	s := a.Series(0, 2*time.Second)
+	if len(s) != 2 || s[0] != 1 || s[1] != 2 {
+		t.Fatalf("series = %v", s)
+	}
+	if got := a.MeanMbps(0, 2*time.Second); got != 1.5 {
+		t.Fatalf("mean = %v, want 1.5", got)
+	}
+}
+
+func TestPaperTopologyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	topo := GenerateTransitStub(PaperTopology(680), rng)
+	hosts := topo.Hosts()
+	if len(hosts) != 680 {
+		t.Fatalf("hosts = %d, want 680", len(hosts))
+	}
+	sim := eventsim.New(1)
+	net := New(sim, topo)
+	// Paper: "The longest delay between any two peers is 104 ms." Check the
+	// same order of magnitude and that everything is connected.
+	var max time.Duration
+	for _, a := range hosts[:40] {
+		for _, b := range hosts[640:] {
+			d := net.Latency(a, b)
+			if d < 0 {
+				t.Fatalf("hosts %d and %d disconnected", a, b)
+			}
+			if d > max {
+				max = d
+			}
+		}
+	}
+	if max < 20*time.Millisecond || max > 200*time.Millisecond {
+		t.Fatalf("max latency = %v, want ~100ms regime", max)
+	}
+}
+
+func TestStarTopology(t *testing.T) {
+	topo := GenerateStar(188, time.Millisecond, 100e6)
+	if got := len(topo.Hosts()); got != 188 {
+		t.Fatalf("hosts = %d", got)
+	}
+	sim := eventsim.New(1)
+	net := New(sim, topo)
+	hosts := topo.Hosts()
+	if d := net.Latency(hosts[0], hosts[187]); d != 2*time.Millisecond {
+		t.Fatalf("host-host latency = %v, want 2ms", d)
+	}
+}
+
+// Property: shortest-path latency is symmetric and satisfies the triangle
+// inequality on generated topologies.
+func TestPropertyLatencyMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	topo := GenerateTransitStub(PaperTopology(60), rng)
+	sim := eventsim.New(2)
+	net := New(sim, topo)
+	hosts := topo.Hosts()
+	f := func(ai, bi, ci uint8) bool {
+		a := hosts[int(ai)%len(hosts)]
+		b := hosts[int(bi)%len(hosts)]
+		c := hosts[int(ci)%len(hosts)]
+		ab, ba := net.Latency(a, b), net.Latency(b, a)
+		if ab != ba {
+			return false
+		}
+		if a == b {
+			return ab == 0
+		}
+		return net.Latency(a, c)+net.Latency(c, b) >= ab
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendFromDownOrSelfFails(t *testing.T) {
+	sim := eventsim.New(1)
+	net := New(sim, lineTopo(2, time.Millisecond))
+	net.SetDown(0, true)
+	if net.Send(0, 1, ClassData, 1, nil) {
+		t.Fatal("send from down node succeeded")
+	}
+	net.SetDown(0, false)
+	if net.Send(0, 0, ClassData, 1, nil) {
+		t.Fatal("self-send succeeded")
+	}
+}
+
+func TestStats(t *testing.T) {
+	sim := eventsim.New(1)
+	net := New(sim, lineTopo(2, time.Millisecond))
+	net.Handle(1, func(NodeID, any, int) {})
+	net.Send(0, 1, ClassData, 1, nil)
+	sim.Run()
+	s, d, dr := net.Stats()
+	if s != 1 || d != 1 || dr != 0 {
+		t.Fatalf("stats = %d %d %d", s, d, dr)
+	}
+}

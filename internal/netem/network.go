@@ -1,0 +1,161 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/eventsim"
+)
+
+// TrafficClass labels a message for accounting purposes, so experiments can
+// split total network load into data and control overhead (the paper reports
+// heartbeat overhead separately, e.g. "12.5 Mbps, 3.4 Mbps of which is
+// heartbeat overhead").
+type TrafficClass uint8
+
+const (
+	// ClassData carries query tuples.
+	ClassData TrafficClass = iota
+	// ClassControl carries heartbeats, reconciliation, installs, probes.
+	ClassControl
+	numClasses
+)
+
+// Handler receives a message delivered to a node.
+type Handler func(from NodeID, payload any, size int)
+
+// Network emulates message delivery over a Topology. All methods must be
+// called from the simulation goroutine (i.e. from event callbacks).
+type Network struct {
+	sim   *eventsim.Sim
+	topo  *Topology
+	rt    *routes
+	rng   *rand.Rand
+	hands []Handler
+	down  []bool // per node
+	lDown []bool // per link
+
+	acct *Accounting
+
+	// PerHopOverhead is added to every message's size on every hop,
+	// modelling UDP/IP/Ethernet headers. Defaults to 46 bytes.
+	PerHopOverhead int
+
+	sent, delivered, dropped uint64
+}
+
+// New builds a network over topo driven by sim.
+func New(sim *eventsim.Sim, topo *Topology) *Network {
+	return &Network{
+		sim:            sim,
+		topo:           topo,
+		rt:             computeRoutes(topo),
+		rng:            rand.New(rand.NewSource(sim.Rand().Int63())),
+		hands:          make([]Handler, topo.NumNodes()),
+		down:           make([]bool, topo.NumNodes()),
+		lDown:          make([]bool, topo.NumLinks()),
+		acct:           NewAccounting(time.Second),
+		PerHopOverhead: 46,
+	}
+}
+
+// Sim returns the driving simulator.
+func (n *Network) Sim() *eventsim.Sim { return n.sim }
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *Topology { return n.topo }
+
+// Accounting returns the per-link traffic accounting.
+func (n *Network) Accounting() *Accounting { return n.acct }
+
+// Handle registers the delivery handler for a node, replacing any previous
+// handler.
+func (n *Network) Handle(id NodeID, h Handler) { n.hands[id] = h }
+
+// SetDown marks a node failed (true) or recovered (false). A failed node
+// neither sends nor receives; packets already in flight to it are dropped at
+// delivery time, and packets transiting a failed router are dropped at the
+// hop.
+func (n *Network) SetDown(id NodeID, down bool) { n.down[id] = down }
+
+// Down reports whether a node is failed.
+func (n *Network) Down(id NodeID) bool { return n.down[id] }
+
+// SetLinkDown fails or recovers the i'th link.
+func (n *Network) SetLinkDown(i int, down bool) { n.lDown[i] = down }
+
+// Latency returns the propagation delay of the shortest path between two
+// nodes, ignoring failures, or -1 if disconnected. Vivaldi measurements and
+// planner evaluation use this.
+func (n *Network) Latency(a, b NodeID) time.Duration { return n.rt.dist[a][b] }
+
+// Stats returns cumulative message counts: sent, delivered, dropped.
+func (n *Network) Stats() (sent, delivered, dropped uint64) {
+	return n.sent, n.delivered, n.dropped
+}
+
+// Send transmits payload of the given application size in bytes from one
+// node to another. Delivery (if the packet survives loss, failures, and
+// disconnection) happens after the path's propagation plus per-hop
+// serialization delay. Send never blocks; it returns false only if the
+// source itself is down or the destination is unreachable in the topology.
+func (n *Network) Send(from, to NodeID, class TrafficClass, size int, payload any) bool {
+	if n.down[from] || from == to {
+		return false
+	}
+	path := n.rt.path(from, to)
+	if path == nil {
+		return false
+	}
+	n.sent++
+	// Walk the path hop by hop at send time, accumulating delay and
+	// checking per-hop loss and failures. Bytes are accounted on every hop
+	// the packet actually crosses: a packet dropped mid-path still consumed
+	// upstream capacity, as on a real network.
+	var delay time.Duration
+	prev := from
+	wire := size + n.PerHopOverhead
+	for hopIdx, hop := range path {
+		li := n.linkBetween(prev, hop)
+		if li < 0 || n.lDown[li] {
+			n.dropped++
+			return true
+		}
+		l := n.topo.links[li]
+		delay += l.Latency
+		if l.Bandwidth > 0 {
+			delay += time.Duration(float64(wire*8) / l.Bandwidth * float64(time.Second))
+		}
+		n.acct.Add(n.sim.Now()+delay, li, class, wire)
+		if l.Loss > 0 && n.rng.Float64() < l.Loss {
+			n.dropped++
+			return true
+		}
+		// A failed interior router drops the packet; the final hop's
+		// down-check happens at delivery time so that a node failing while
+		// the packet is in flight still kills it.
+		if hopIdx < len(path)-1 && n.down[hop] {
+			n.dropped++
+			return true
+		}
+		prev = hop
+	}
+	n.sim.After(delay, func() {
+		if n.down[to] || n.hands[to] == nil {
+			n.dropped++
+			return
+		}
+		n.delivered++
+		n.hands[to](from, payload, size)
+	})
+	return true
+}
+
+func (n *Network) linkBetween(a, b NodeID) int {
+	for _, e := range n.topo.adj[a] {
+		if e.to == b {
+			return e.link
+		}
+	}
+	return -1
+}

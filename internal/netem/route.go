@@ -1,0 +1,119 @@
+package netem
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// routes holds shortest-path next-hop state for a topology, computed by
+// Dijkstra from every node over link latencies. Path computation ignores
+// failures: the emulated IP layer keeps routing through a dead host's access
+// link (the packet is then dropped), matching how ModelNet experiments fail
+// "last mile" links without recomputing routes.
+type routes struct {
+	next [][]int32 // next[src][dst] = neighbor on shortest path, -1 unreachable
+	dist [][]time.Duration
+}
+
+func computeRoutes(t *Topology) *routes {
+	n := t.NumNodes()
+	r := &routes{
+		next: make([][]int32, n),
+		dist: make([][]time.Duration, n),
+	}
+	for src := 0; src < n; src++ {
+		r.next[src], r.dist[src] = dijkstra(t, NodeID(src))
+	}
+	return r
+}
+
+func dijkstra(t *Topology, src NodeID) ([]int32, []time.Duration) {
+	n := t.NumNodes()
+	const inf = time.Duration(math.MaxInt64)
+	dist := make([]time.Duration, n)
+	next := make([]int32, n) // first hop from src toward each node
+	prev := make([]int32, n)
+	for i := range dist {
+		dist[i] = inf
+		next[i] = -1
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeQueue{{id: src, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if it.d > dist[it.id] {
+			continue
+		}
+		for _, e := range t.adj[it.id] {
+			nd := it.d + t.links[e.link].Latency
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				prev[e.to] = int32(it.id)
+				heap.Push(pq, nodeItem{id: e.to, d: nd})
+			}
+		}
+	}
+	// Derive first hops by walking prev chains back to src.
+	for v := 0; v < n; v++ {
+		if dist[v] == inf || NodeID(v) == src {
+			continue
+		}
+		hop := int32(v)
+		for prev[hop] != int32(src) {
+			hop = prev[hop]
+			if hop < 0 {
+				break
+			}
+		}
+		next[v] = hop
+	}
+	for i := range dist {
+		if dist[i] == inf {
+			dist[i] = -1
+		}
+	}
+	return next, dist
+}
+
+type nodeItem struct {
+	id NodeID
+	d  time.Duration
+}
+
+type nodeQueue []nodeItem
+
+func (q nodeQueue) Len() int           { return len(q) }
+func (q nodeQueue) Less(i, j int) bool { return q[i].d < q[j].d }
+func (q nodeQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x any)        { *q = append(*q, x.(nodeItem)) }
+func (q *nodeQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// path returns the node sequence from a to b (excluding a, including b), or
+// nil if unreachable.
+func (r *routes) path(a, b NodeID) []NodeID {
+	if a == b {
+		return nil
+	}
+	var p []NodeID
+	cur := a
+	for cur != b {
+		nx := r.next[cur][b]
+		if nx < 0 {
+			return nil
+		}
+		cur = NodeID(nx)
+		p = append(p, cur)
+		if len(p) > len(r.next) {
+			return nil // defensive: malformed routing state
+		}
+	}
+	return p
+}

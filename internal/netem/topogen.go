@@ -1,0 +1,121 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+)
+
+// TransitStubParams configures the Inet-like transit-stub generator. The
+// defaults reproduce the paper's evaluation topology: an Inet-generated
+// network with 34 stub nodes, 680 uniformly distributed end hosts, 100 Mbps
+// links, 1 ms stub-node latency, 2 ms stub-stub, 10 ms stub-transit, and
+// 20 ms transit-transit (§7).
+type TransitStubParams struct {
+	Transits       int
+	Stubs          int
+	Hosts          int
+	ExtraTransit   int     // random extra transit-transit links beyond the ring
+	StubStubProb   float64 // probability of a lateral stub-stub link per stub
+	LinkBandwidth  float64 // bits/sec; paper: 100 Mbps
+	HostStubLat    time.Duration
+	StubStubLat    time.Duration
+	StubTransitLat time.Duration
+	TransitLat     time.Duration
+	Loss           float64
+}
+
+// PaperTopology returns the parameters used across the paper's ModelNet
+// experiments, with the given host count (680 in most figures, 439 in the
+// clock experiments, 179 in the planning study).
+func PaperTopology(hosts int) TransitStubParams {
+	return TransitStubParams{
+		Transits:       4,
+		Stubs:          34,
+		Hosts:          hosts,
+		ExtraTransit:   2,
+		StubStubProb:   0.25,
+		LinkBandwidth:  100e6,
+		HostStubLat:    1 * time.Millisecond,
+		StubStubLat:    2 * time.Millisecond,
+		StubTransitLat: 10 * time.Millisecond,
+		TransitLat:     20 * time.Millisecond,
+	}
+}
+
+// GenerateTransitStub builds a transit-stub topology. The transit routers
+// form a ring with a few random chords; stubs attach round-robin to transits
+// with occasional lateral stub-stub links; hosts spread uniformly across
+// stubs. All structure beyond the parameters is drawn from rng.
+func GenerateTransitStub(p TransitStubParams, rng *rand.Rand) *Topology {
+	if p.Transits < 1 || p.Stubs < 1 || p.Hosts < 1 {
+		panic("netem: transit-stub parameters must be positive")
+	}
+	t := NewTopology()
+	transits := make([]NodeID, p.Transits)
+	for i := range transits {
+		transits[i] = t.AddNode(TransitRouter)
+	}
+	// Transit core: ring plus chords.
+	for i := 0; i < p.Transits; i++ {
+		if p.Transits > 1 && (i != p.Transits-1 || p.Transits > 2) {
+			t.AddLink(Link{
+				A: transits[i], B: transits[(i+1)%p.Transits],
+				Latency: p.TransitLat, Bandwidth: p.LinkBandwidth, Loss: p.Loss,
+			})
+		}
+	}
+	for i := 0; i < p.ExtraTransit && p.Transits > 3; i++ {
+		a := rng.Intn(p.Transits)
+		b := rng.Intn(p.Transits)
+		if a == b || (a+1)%p.Transits == b || (b+1)%p.Transits == a {
+			continue
+		}
+		t.AddLink(Link{
+			A: transits[a], B: transits[b],
+			Latency: p.TransitLat, Bandwidth: p.LinkBandwidth, Loss: p.Loss,
+		})
+	}
+	// Stubs.
+	stubs := make([]NodeID, p.Stubs)
+	for i := range stubs {
+		stubs[i] = t.AddNode(StubRouter)
+		t.AddLink(Link{
+			A: stubs[i], B: transits[i%p.Transits],
+			Latency: p.StubTransitLat, Bandwidth: p.LinkBandwidth, Loss: p.Loss,
+		})
+	}
+	for i := range stubs {
+		if rng.Float64() < p.StubStubProb && p.Stubs > 1 {
+			j := rng.Intn(p.Stubs)
+			if j != i {
+				t.AddLink(Link{
+					A: stubs[i], B: stubs[j],
+					Latency: p.StubStubLat, Bandwidth: p.LinkBandwidth, Loss: p.Loss,
+				})
+			}
+		}
+	}
+	// Hosts, uniformly distributed across stubs ("emulating small node
+	// federations").
+	for h := 0; h < p.Hosts; h++ {
+		host := t.AddNode(Host)
+		t.AddLink(Link{
+			A: host, B: stubs[h%p.Stubs],
+			Latency: p.HostStubLat, Bandwidth: p.LinkBandwidth, Loss: p.Loss,
+		})
+	}
+	return t
+}
+
+// GenerateStar builds the Wi-Fi experiment's topology: n hosts hanging off a
+// single hub with the given per-link latency ("a star with 1 ms links",
+// 2 ms one-way host-to-host).
+func GenerateStar(n int, lat time.Duration, bw float64) *Topology {
+	t := NewTopology()
+	hub := t.AddNode(StubRouter)
+	for i := 0; i < n; i++ {
+		h := t.AddNode(Host)
+		t.AddLink(Link{A: h, B: hub, Latency: lat, Bandwidth: bw})
+	}
+	return t
+}

@@ -1,0 +1,111 @@
+package sdims
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/netem"
+)
+
+func system(t *testing.T, hosts int, seed int64) *System {
+	t.Helper()
+	sim := eventsim.New(seed)
+	rng := rand.New(rand.NewSource(seed))
+	p := netem.PaperTopology(hosts)
+	p.Stubs = 8
+	p.Transits = 2
+	topo := netem.GenerateTransitStub(p, rng)
+	net := netem.New(sim, topo)
+	s := New(net, DefaultConfig())
+	for i := 0; i < hosts; i++ {
+		s.SetValue(i, 1)
+	}
+	s.Start()
+	return s
+}
+
+func TestAggregateConvergesToNodeCount(t *testing.T) {
+	s := system(t, 60, 1)
+	s.Sim.RunFor(60 * time.Second)
+	v, c := s.RootValue()
+	if v != 60 || c != 60 {
+		t.Fatalf("root aggregate = %v (%d), want 60", v, c)
+	}
+}
+
+func TestProbeReadsAggregate(t *testing.T) {
+	s := system(t, 40, 2)
+	s.Sim.RunFor(40 * time.Second)
+	s.Probe(7)
+	s.Sim.RunFor(2 * time.Second)
+	if s.LastProbe.Count < 35 {
+		t.Fatalf("probe count = %d, want ~40", s.LastProbe.Count)
+	}
+}
+
+// During churn, re-parenting plus leases produces over-counting: the
+// behaviour Figure 16 shows ("completeness exceeds 100%, hitting almost
+// 180%").
+func TestFailuresCauseOvercounting(t *testing.T) {
+	s := system(t, 80, 3)
+	s.Sim.RunFor(60 * time.Second)
+	rng := rand.New(rand.NewSource(3))
+	// Repeatedly fail and recover random subsets.
+	over := 0.0
+	for round := 0; round < 6; round++ {
+		down := map[int]bool{}
+		for len(down) < 16 {
+			p := rng.Intn(80)
+			if !down[p] {
+				down[p] = true
+				s.Net.SetDown(s.hosts[p], true)
+			}
+		}
+		s.Sim.RunFor(30 * time.Second)
+		for p := range down {
+			s.Net.SetDown(s.hosts[p], false)
+		}
+		s.Sim.RunFor(30 * time.Second)
+		v, _ := s.RootValue()
+		if frac := v / 80; frac > over {
+			over = frac
+		}
+	}
+	if over <= 1.02 {
+		t.Fatalf("max completeness %.2f; churn should over-count past 100%%", over)
+	}
+}
+
+func TestBandwidthSubstantial(t *testing.T) {
+	s := system(t, 60, 4)
+	s.Sim.RunFor(60 * time.Second)
+	total := s.Net.Accounting().TotalAllBytes()
+	if total == 0 {
+		t.Fatal("no traffic accounted")
+	}
+	// Publishes every 5s with immediate propagation: at least hosts/5
+	// update messages per second crossing multiple links.
+	mean := s.Net.Accounting().MeanMbps(20*time.Second, 60*time.Second)
+	if mean <= 0 {
+		t.Fatalf("mean load = %v", mean)
+	}
+}
+
+func TestRecoveryRestoresCount(t *testing.T) {
+	s := system(t, 50, 5)
+	s.Sim.RunFor(45 * time.Second)
+	for p := 10; p < 20; p++ {
+		s.Net.SetDown(s.hosts[p], true)
+	}
+	s.Sim.RunFor(90 * time.Second)
+	for p := 10; p < 20; p++ {
+		s.Net.SetDown(s.hosts[p], false)
+	}
+	s.Sim.RunFor(180 * time.Second)
+	v, _ := s.RootValue()
+	if v < 45 {
+		t.Fatalf("aggregate %v after recovery, want ~50", v)
+	}
+}

@@ -1,0 +1,216 @@
+// Package treesim reproduces the motivating simulation of §2.1 (Figure 1):
+// build random trees over 10k nodes, uniformly fail links, walk the
+// in-memory graph, and count the nodes that remain connected to the root
+// under four data-routing disciplines — a single tree, static striping,
+// data mirroring (Borealis/Flux style), and Mortar's dynamic striping over
+// the union of upward paths.
+package treesim
+
+import (
+	"math/rand"
+
+	"repro/internal/plan"
+)
+
+// Discipline selects the routing scheme being simulated.
+type Discipline int
+
+const (
+	// SingleTree routes all data up one tree.
+	SingleTree Discipline = iota
+	// Striping sends 1/D of the data up each of D trees (TAG).
+	Striping
+	// Mirroring runs a copy of the dataflow across D trees (Borealis, Flux).
+	Mirroring
+	// DynamicStriping migrates stripes to any live upward path in the
+	// union of the D trees (Mortar).
+	DynamicStriping
+)
+
+func (d Discipline) String() string {
+	switch d {
+	case SingleTree:
+		return "single-tree"
+	case Striping:
+		return "striping"
+	case Mirroring:
+		return "mirroring"
+	case DynamicStriping:
+		return "dynamic-striping"
+	default:
+		return "unknown"
+	}
+}
+
+// Params configures one simulation.
+type Params struct {
+	Nodes      int
+	BF         int
+	D          int // tree set size
+	LinkFail   float64
+	Discipline Discipline
+}
+
+// trial state: per tree, alive[i] reports whether the link from node i to
+// its parent survived.
+type trial struct {
+	trees []*plan.Tree
+	alive [][]bool
+}
+
+func newTrial(p Params, rng *rand.Rand) *trial {
+	t := &trial{}
+	for i := 0; i < p.D; i++ {
+		t.trees = append(t.trees, plan.BuildRandom(p.Nodes, 0, p.BF, rng))
+	}
+	t.failLinks(p.LinkFail, rng)
+	return t
+}
+
+func (t *trial) failLinks(f float64, rng *rand.Rand) {
+	t.alive = make([][]bool, len(t.trees))
+	for ti, tr := range t.trees {
+		t.alive[ti] = make([]bool, tr.NumPeers())
+		for i := range t.alive[ti] {
+			t.alive[ti][i] = rng.Float64() >= f
+		}
+		t.alive[ti][tr.Root] = true
+	}
+}
+
+// connectedUp returns, for one tree, whether each node has an all-alive
+// path to the root.
+func (t *trial) connectedUp(ti int) []bool {
+	tr := t.trees[ti]
+	n := tr.NumPeers()
+	ok := make([]bool, n)
+	state := make([]int8, n) // 0 unknown, 1 ok, -1 dead
+	state[tr.Root] = 1
+	ok[tr.Root] = true
+	var resolve func(v int) bool
+	resolve = func(v int) bool {
+		if state[v] != 0 {
+			return state[v] == 1
+		}
+		good := t.alive[ti][v] && resolve(tr.Parent[v])
+		if good {
+			state[v] = 1
+		} else {
+			state[v] = -1
+		}
+		ok[v] = good
+		return good
+	}
+	for v := 0; v < n; v++ {
+		resolve(v)
+	}
+	return ok
+}
+
+// unionConnected computes reachability of the root through the union of
+// upward (child -> parent) edges across all trees: a node's data survives
+// under dynamic striping as long as one live upward path exists (§2.1).
+func (t *trial) unionConnected() []bool {
+	n := t.trees[0].NumPeers()
+	root := t.trees[0].Root
+	// Reverse BFS from the root along alive edges: parent -> child means
+	// the child could send to that parent.
+	reach := make([]bool, n)
+	reach[root] = true
+	queue := []int{root}
+	// children[parent] across all trees with alive child-edge.
+	children := make([][]int32, n)
+	for ti, tr := range t.trees {
+		for v := 0; v < n; v++ {
+			if v == tr.Root || !t.alive[ti][v] {
+				continue
+			}
+			pa := tr.Parent[v]
+			children[pa] = append(children[pa], int32(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, c := range children[v] {
+			if !reach[c] {
+				reach[c] = true
+				queue = append(queue, int(c))
+			}
+		}
+	}
+	return reach
+}
+
+// Completeness runs one trial and returns the fraction of node data that
+// reaches the root, in [0, 1].
+func Completeness(p Params, rng *rand.Rand) float64 {
+	if p.D < 1 {
+		p.D = 1
+	}
+	if p.Discipline == SingleTree {
+		p.D = 1
+	}
+	t := newTrial(p, rng)
+	n := p.Nodes
+	switch p.Discipline {
+	case SingleTree:
+		ok := t.connectedUp(0)
+		return fraction(ok)
+	case Striping:
+		// Each node sends 1/D of its data up each tree; the surviving
+		// fraction is the mean across trees of per-tree connectivity.
+		var sum float64
+		for ti := range t.trees {
+			ok := t.connectedUp(ti)
+			sum += fraction(ok)
+		}
+		return sum / float64(len(t.trees))
+	case Mirroring:
+		// A node's data survives if any tree delivers it.
+		any := make([]bool, n)
+		for ti := range t.trees {
+			ok := t.connectedUp(ti)
+			for v, b := range ok {
+				if b {
+					any[v] = true
+				}
+			}
+		}
+		return fraction(any)
+	case DynamicStriping:
+		return fraction(t.unionConnected())
+	default:
+		return 0
+	}
+}
+
+// MeanCompleteness averages over the given number of independent trials
+// (the paper uses 400).
+func MeanCompleteness(p Params, trials int, rng *rand.Rand) float64 {
+	var sum float64
+	for i := 0; i < trials; i++ {
+		sum += Completeness(p, rng)
+	}
+	return sum / float64(trials)
+}
+
+// BandwidthFactor returns the relative bandwidth footprint of a discipline
+// at tree set size D, normalized to a single tree (§2.1: mirroring across
+// 10 trees increases the footprint by an order of magnitude).
+func BandwidthFactor(d Discipline, D int) float64 {
+	if d == Mirroring {
+		return float64(D)
+	}
+	return 1
+}
+
+func fraction(ok []bool) float64 {
+	n := 0
+	for _, b := range ok {
+		if b {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ok))
+}

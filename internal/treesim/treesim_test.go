@@ -1,0 +1,88 @@
+package treesim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNoFailuresFullCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []Discipline{SingleTree, Striping, Mirroring, DynamicStriping} {
+		p := Params{Nodes: 500, BF: 8, D: 4, LinkFail: 0, Discipline: d}
+		if got := Completeness(p, rng); got != 1 {
+			t.Fatalf("%v completeness = %v with no failures", d, got)
+		}
+	}
+}
+
+func TestAllLinksFailedOnlyRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Params{Nodes: 100, BF: 8, D: 4, LinkFail: 1, Discipline: DynamicStriping}
+	if got := Completeness(p, rng); got > 0.011 {
+		t.Fatalf("completeness = %v with all links failed", got)
+	}
+}
+
+// The ordering the paper's Figure 1 shows: dynamic striping > mirroring(D)
+// > striping ~ single tree, at moderate failure rates.
+func TestDisciplineOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := Params{Nodes: 2000, BF: 32, D: 4, LinkFail: 0.2}
+	get := func(d Discipline, D int) float64 {
+		p := base
+		p.Discipline = d
+		p.D = D
+		return MeanCompleteness(p, 20, rng)
+	}
+	dyn := get(DynamicStriping, 4)
+	mir := get(Mirroring, 2)
+	str := get(Striping, 4)
+	single := get(SingleTree, 1)
+	if !(dyn > mir && mir > str) {
+		t.Fatalf("ordering violated: dyn %.3f, mir2 %.3f, str %.3f", dyn, mir, str)
+	}
+	if diff := str - single; diff < -0.05 || diff > 0.05 {
+		t.Fatalf("striping (%.3f) should track single tree (%.3f)", str, single)
+	}
+	if dyn < 0.90 {
+		t.Fatalf("dynamic striping D=4 = %.3f at 20%% failures, want >= 0.90", dyn)
+	}
+}
+
+// Headline claim: even when 40% of links fail, dynamic striping with D=4
+// keeps ~94% of remaining nodes connected.
+func TestDynamicStripingAt40Percent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := Params{Nodes: 5000, BF: 32, D: 4, LinkFail: 0.4, Discipline: DynamicStriping}
+	got := MeanCompleteness(p, 10, rng)
+	if got < 0.80 {
+		t.Fatalf("completeness = %.3f at 40%% failures, want >= 0.80", got)
+	}
+}
+
+func TestMoreTreesMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prev := -1.0
+	for _, d := range []int{1, 2, 3, 4} {
+		p := Params{Nodes: 1000, BF: 16, D: d, LinkFail: 0.3, Discipline: DynamicStriping}
+		got := MeanCompleteness(p, 20, rng)
+		if got < prev-0.02 {
+			t.Fatalf("completeness decreased with more trees: D=%d %.3f < %.3f", d, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestBandwidthFactor(t *testing.T) {
+	if BandwidthFactor(Mirroring, 10) != 10 {
+		t.Fatal("mirroring bandwidth must scale with D")
+	}
+	if BandwidthFactor(DynamicStriping, 10) != 1 {
+		t.Fatal("dynamic striping keeps single-tree bandwidth")
+	}
+	for _, d := range []Discipline{SingleTree, Striping, Mirroring, DynamicStriping, Discipline(99)} {
+		if d.String() == "" {
+			t.Fatal("empty discipline name")
+		}
+	}
+}

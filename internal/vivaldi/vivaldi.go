@@ -1,0 +1,209 @@
+// Package vivaldi implements the Vivaldi decentralized network coordinate
+// algorithm (Dabek et al., SIGCOMM 2004). The Mortar prototype sourced its
+// network coordinates from Bamboo's Vivaldi implementation; here the
+// algorithm runs over emulated shortest-path latencies. Coordinates feed the
+// physical dataflow planner (internal/plan), which clusters them to build
+// network-aware primary trees.
+//
+// Per the paper's footnote, experiments use 3-dimensional coordinates.
+package vivaldi
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Coordinate is a point in a Euclidean embedding of network latency. The
+// units are milliseconds: the Euclidean distance between two coordinates
+// predicts the one-way latency between their nodes.
+type Coordinate []float64
+
+// Dist returns the Euclidean distance between two coordinates.
+func (c Coordinate) Dist(o Coordinate) float64 {
+	var s float64
+	for i := range c {
+		d := c[i] - o[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Clone returns a copy of c.
+func (c Coordinate) Clone() Coordinate {
+	out := make(Coordinate, len(c))
+	copy(out, c)
+	return out
+}
+
+// Config holds the Vivaldi tuning constants; the defaults are those from the
+// paper's adaptive-timestep algorithm.
+type Config struct {
+	Dims int
+	// CE scales the adaptive timestep; CC scales the error EWMA.
+	CE, CC float64
+}
+
+// DefaultConfig returns 3-dimensional coordinates with the standard
+// constants ce = cc = 0.25.
+func DefaultConfig() Config { return Config{Dims: 3, CE: 0.25, CC: 0.25} }
+
+// Node is one participant's coordinate state.
+type Node struct {
+	cfg   Config
+	coord Coordinate
+	err   float64
+	rng   *rand.Rand
+}
+
+// NewNode returns a node at a small random initial position with error 1.
+// Starting near (but not exactly at) the origin avoids the degenerate
+// all-zero configuration.
+func NewNode(cfg Config, rng *rand.Rand) *Node {
+	c := make(Coordinate, cfg.Dims)
+	for i := range c {
+		c[i] = rng.Float64() * 0.1
+	}
+	return &Node{cfg: cfg, coord: c, err: 1, rng: rng}
+}
+
+// Coord returns the node's current coordinate (a live reference; callers
+// that store it should Clone).
+func (n *Node) Coord() Coordinate { return n.coord }
+
+// Error returns the node's current error estimate.
+func (n *Node) Error() float64 { return n.err }
+
+// Update incorporates one latency sample to a remote node, moving this
+// node's coordinate along the spring force between the two.
+func (n *Node) Update(rtt time.Duration, remote Coordinate, remoteErr float64) {
+	lat := float64(rtt) / float64(time.Millisecond)
+	if lat <= 0 {
+		return
+	}
+	dist := n.coord.Dist(remote)
+	// Weight: balance of local vs remote error.
+	w := 0.5
+	if n.err+remoteErr > 0 {
+		w = n.err / (n.err + remoteErr)
+	}
+	// Relative error of this sample.
+	var relErr float64
+	if lat > 0 {
+		relErr = math.Abs(dist-lat) / lat
+	}
+	// Update error EWMA and adaptive timestep.
+	n.err = relErr*n.cfg.CC*w + n.err*(1-n.cfg.CC*w)
+	if n.err > 1 {
+		n.err = 1
+	}
+	delta := n.cfg.CE * w
+	// Unit vector from remote toward us; if coincident, pick a random
+	// direction so co-located nodes can separate.
+	dir := make(Coordinate, len(n.coord))
+	if dist > 1e-9 {
+		for i := range dir {
+			dir[i] = (n.coord[i] - remote[i]) / dist
+		}
+	} else {
+		var norm float64
+		for i := range dir {
+			dir[i] = n.rng.NormFloat64()
+			norm += dir[i] * dir[i]
+		}
+		norm = math.Sqrt(norm)
+		for i := range dir {
+			dir[i] /= norm
+		}
+	}
+	force := delta * (lat - dist)
+	for i := range n.coord {
+		n.coord[i] += force * dir[i]
+	}
+}
+
+// System runs Vivaldi for a set of nodes against a latency oracle, the way
+// the Mortar evaluation lets Vivaldi run "for at least ten rounds before
+// interconnecting operators".
+type System struct {
+	Nodes []*Node
+	rng   *rand.Rand
+}
+
+// NewSystem creates n Vivaldi nodes.
+func NewSystem(n int, cfg Config, rng *rand.Rand) *System {
+	s := &System{rng: rng}
+	for i := 0; i < n; i++ {
+		s.Nodes = append(s.Nodes, NewNode(cfg, rand.New(rand.NewSource(rng.Int63()))))
+	}
+	return s
+}
+
+// Round has every node sample `samples` random peers through the latency
+// oracle (a one-way delay; the RTT passed to Update is twice that, matching
+// how deployed Vivaldi measures ping RTTs but embeds one-way distance by
+// halving — we keep the embedding in one-way ms by passing one-way
+// directly).
+func (s *System) Round(samples int, oneWay func(i, j int) time.Duration) {
+	n := len(s.Nodes)
+	for i := 0; i < n; i++ {
+		for k := 0; k < samples; k++ {
+			j := s.rng.Intn(n)
+			if j == i {
+				continue
+			}
+			lat := oneWay(i, j)
+			if lat < 0 {
+				continue
+			}
+			s.Nodes[i].Update(lat, s.Nodes[j].coord, s.Nodes[j].err)
+		}
+	}
+}
+
+// Run executes the given number of rounds.
+func (s *System) Run(rounds, samplesPerRound int, oneWay func(i, j int) time.Duration) {
+	for r := 0; r < rounds; r++ {
+		s.Round(samplesPerRound, oneWay)
+	}
+}
+
+// Coordinates returns a snapshot of all node coordinates.
+func (s *System) Coordinates() []Coordinate {
+	out := make([]Coordinate, len(s.Nodes))
+	for i, n := range s.Nodes {
+		out[i] = n.coord.Clone()
+	}
+	return out
+}
+
+// MedianRelativeError measures embedding quality: the median over sampled
+// pairs of |predicted - actual| / actual.
+func (s *System) MedianRelativeError(pairs int, oneWay func(i, j int) time.Duration) float64 {
+	n := len(s.Nodes)
+	var errs []float64
+	for k := 0; k < pairs; k++ {
+		i, j := s.rng.Intn(n), s.rng.Intn(n)
+		if i == j {
+			continue
+		}
+		actual := float64(oneWay(i, j)) / float64(time.Millisecond)
+		if actual <= 0 {
+			continue
+		}
+		pred := s.Nodes[i].coord.Dist(s.Nodes[j].coord)
+		errs = append(errs, math.Abs(pred-actual)/actual)
+	}
+	if len(errs) == 0 {
+		return 0
+	}
+	// Median by partial sort.
+	for i := 0; i < len(errs); i++ {
+		for j := i + 1; j < len(errs); j++ {
+			if errs[j] < errs[i] {
+				errs[i], errs[j] = errs[j], errs[i]
+			}
+		}
+	}
+	return errs[len(errs)/2]
+}

@@ -1,0 +1,128 @@
+package vivaldi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDist(t *testing.T) {
+	a := Coordinate{0, 0, 0}
+	b := Coordinate{3, 4, 0}
+	if d := a.Dist(b); d != 5 {
+		t.Fatalf("Dist = %v, want 5", d)
+	}
+	if d := a.Dist(a); d != 0 {
+		t.Fatalf("self Dist = %v", d)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := Coordinate{1, 2}
+	b := a.Clone()
+	b[0] = 9
+	if a[0] != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestUpdateMovesTowardTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewNode(DefaultConfig(), rng)
+	remote := Coordinate{100, 0, 0}
+	before := n.Coord().Dist(remote)
+	// True latency 10ms but embedded distance ~100: node should move toward
+	// the remote to shrink the spring.
+	for i := 0; i < 50; i++ {
+		n.Update(10*time.Millisecond, remote, 0.5)
+	}
+	after := n.Coord().Dist(remote)
+	if after >= before {
+		t.Fatalf("distance did not shrink: %v -> %v", before, after)
+	}
+}
+
+func TestUpdateIgnoresNonPositiveRTT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewNode(DefaultConfig(), rng)
+	before := n.Coord().Clone()
+	n.Update(0, Coordinate{1, 1, 1}, 0.5)
+	n.Update(-time.Second, Coordinate{1, 1, 1}, 0.5)
+	for i := range before {
+		if n.Coord()[i] != before[i] {
+			t.Fatal("coordinate moved on invalid sample")
+		}
+	}
+}
+
+func TestCoincidentNodesSeparate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := NewNode(DefaultConfig(), rng)
+	at := n.Coord().Clone()
+	n.Update(20*time.Millisecond, at, 0.5)
+	if n.Coord().Dist(at) == 0 {
+		t.Fatal("coincident nodes did not separate")
+	}
+}
+
+// Embedding a set of points on a synthetic 2-level metric should converge to
+// low relative error after the paper's "at least ten rounds".
+func TestSystemConvergesOnClusteredMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 60
+	// Two sites: intra-site 2ms, inter-site 50ms.
+	site := make([]int, n)
+	for i := range site {
+		site[i] = i % 2
+	}
+	oneWay := func(i, j int) time.Duration {
+		if site[i] == site[j] {
+			return 2 * time.Millisecond
+		}
+		return 50 * time.Millisecond
+	}
+	s := NewSystem(n, DefaultConfig(), rng)
+	s.Run(30, 8, oneWay)
+	if err := s.MedianRelativeError(500, oneWay); err > 0.35 {
+		t.Fatalf("median relative error = %.3f, want <= 0.35", err)
+	}
+	// Intra-site embedded distances must be clearly below inter-site ones.
+	coords := s.Coordinates()
+	var intra, inter float64
+	var ni, nx int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := coords[i].Dist(coords[j])
+			if site[i] == site[j] {
+				intra += d
+				ni++
+			} else {
+				inter += d
+				nx++
+			}
+		}
+	}
+	if intra/float64(ni) >= inter/float64(nx) {
+		t.Fatalf("embedding failed to separate sites: intra %.2f >= inter %.2f",
+			intra/float64(ni), inter/float64(nx))
+	}
+}
+
+func TestErrorStaysBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := NewNode(DefaultConfig(), rng)
+	for i := 0; i < 1000; i++ {
+		lat := time.Duration(1+rng.Intn(100)) * time.Millisecond
+		remote := Coordinate{rng.Float64() * 100, rng.Float64() * 100, rng.Float64() * 100}
+		n.Update(lat, remote, rng.Float64())
+		if n.Error() < 0 || n.Error() > 1 || math.IsNaN(n.Error()) {
+			t.Fatalf("error out of range: %v", n.Error())
+		}
+		for _, c := range n.Coord() {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatal("coordinate diverged")
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package wifi synthesizes the Jigsaw-style Wi-Fi sniffer workload of the
+// paper's location service (§7.4). The real experiment replayed 802.11
+// frames captured by 188 sniffers in the UCSD CSE building; we substitute a
+// synthetic office walk plus a log-distance RSSI path-loss model, which
+// preserves the property the query depends on: the sniffers nearest the
+// transmitter report the loudest frames.
+package wifi
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sniffer is one monitoring station at a fixed position.
+type Sniffer struct {
+	ID   int
+	X, Y float64
+}
+
+// Building lays out sniffers on a grid over an L-shaped office floor plan,
+// loosely matching "four building floors" collapsed onto a single plane
+// (the paper's naive trilateration cannot distinguish floors either).
+type Building struct {
+	Sniffers []Sniffer
+	W, H     float64
+}
+
+// NewBuilding places n sniffers over a w x h floor.
+func NewBuilding(n int, w, h float64, rng *rand.Rand) *Building {
+	b := &Building{W: w, H: h}
+	cols := int(math.Ceil(math.Sqrt(float64(n) * w / h)))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (n + cols - 1) / cols
+	i := 0
+	for r := 0; r < rows && i < n; r++ {
+		for c := 0; c < cols && i < n; c++ {
+			b.Sniffers = append(b.Sniffers, Sniffer{
+				ID: i,
+				X:  (float64(c)+0.5)*w/float64(cols) + rng.Float64()*2 - 1,
+				Y:  (float64(r)+0.5)*h/float64(rows) + rng.Float64()*2 - 1,
+			})
+			i++
+		}
+	}
+	return b
+}
+
+// RSSIModel is a log-distance path-loss model with shadowing.
+type RSSIModel struct {
+	// TxPower is the transmit power at 1m, in dBm.
+	TxPower float64
+	// Exponent is the path-loss exponent (2 free space, ~3 indoors).
+	Exponent float64
+	// ShadowSigma is the lognormal shadowing std dev in dB.
+	ShadowSigma float64
+	// Floor is the sensitivity floor: frames below it are not captured.
+	Floor float64
+}
+
+// DefaultRSSI returns typical indoor 802.11 parameters.
+func DefaultRSSI() RSSIModel {
+	return RSSIModel{TxPower: -30, Exponent: 3, ShadowSigma: 2, Floor: -85}
+}
+
+// Sample returns the RSSI measured by a sniffer at distance d meters, and
+// whether the frame was captured at all.
+func (m RSSIModel) Sample(d float64, rng *rand.Rand) (float64, bool) {
+	if d < 1 {
+		d = 1
+	}
+	rssi := m.TxPower - 10*m.Exponent*math.Log10(d) + rng.NormFloat64()*m.ShadowSigma
+	return rssi, rssi >= m.Floor
+}
+
+// Walk is the ground-truth trajectory of the tracked device: the paper's
+// user "circled the four building floors ... this simple query returns the
+// L-shaped path of the user".
+type Walk struct {
+	points [][2]float64
+	Speed  float64 // meters per second
+}
+
+// LWalk builds an L-shaped loop inside the building: along one hallway,
+// turn, along the other, and back.
+func LWalk(b *Building, speed float64) *Walk {
+	margin := 5.0
+	pts := [][2]float64{
+		{margin, margin},
+		{b.W - margin, margin},
+		{b.W - margin, b.H - margin},
+		{margin, b.H - margin},
+		{margin, margin},
+	}
+	return &Walk{points: pts, Speed: speed}
+}
+
+// Position returns the walker's position t seconds into the walk; the path
+// loops.
+func (w *Walk) Position(t float64) (float64, float64) {
+	total := 0.0
+	for i := 1; i < len(w.points); i++ {
+		total += segLen(w.points[i-1], w.points[i])
+	}
+	d := math.Mod(t*w.Speed, total)
+	for i := 1; i < len(w.points); i++ {
+		l := segLen(w.points[i-1], w.points[i])
+		if d <= l {
+			f := d / l
+			return w.points[i-1][0] + f*(w.points[i][0]-w.points[i-1][0]),
+				w.points[i-1][1] + f*(w.points[i][1]-w.points[i-1][1])
+		}
+		d -= l
+	}
+	return w.points[len(w.points)-1][0], w.points[len(w.points)-1][1]
+}
+
+func segLen(a, b [2]float64) float64 {
+	return math.Hypot(b[0]-a[0], b[1]-a[1])
+}
+
+// Frame is one captured 802.11 frame observation.
+type Frame struct {
+	Sniffer int
+	RSSI    float64
+}
+
+// Capture simulates one frame transmission from (x, y): every sniffer in
+// range records an observation.
+func (b *Building) Capture(x, y float64, m RSSIModel, rng *rand.Rand) []Frame {
+	var out []Frame
+	for _, s := range b.Sniffers {
+		d := math.Hypot(s.X-x, s.Y-y)
+		if rssi, ok := m.Sample(d, rng); ok {
+			out = append(out, Frame{Sniffer: s.ID, RSSI: rssi})
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package wifi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBuildingLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilding(188, 100, 60, rng)
+	if len(b.Sniffers) != 188 {
+		t.Fatalf("sniffers = %d", len(b.Sniffers))
+	}
+	for _, s := range b.Sniffers {
+		if s.X < -2 || s.X > 102 || s.Y < -2 || s.Y > 62 {
+			t.Fatalf("sniffer %d out of bounds: (%v, %v)", s.ID, s.X, s.Y)
+		}
+	}
+}
+
+func TestRSSIDecaysWithDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := DefaultRSSI()
+	m.ShadowSigma = 0
+	near, _ := m.Sample(2, rng)
+	far, _ := m.Sample(40, rng)
+	if near <= far {
+		t.Fatalf("RSSI near (%v) must exceed far (%v)", near, far)
+	}
+	if _, ok := m.Sample(10000, rng); ok {
+		t.Fatal("frame captured far beyond sensitivity floor")
+	}
+}
+
+func TestWalkLoops(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := NewBuilding(50, 100, 60, rng)
+	w := LWalk(b, 1.5)
+	x0, y0 := w.Position(0)
+	// The walk must stay inside the building and return to its start.
+	perimeter := 2 * (90 + 50) // margins of 5 on a 100x60 floor
+	xT, yT := w.Position(float64(perimeter) / 1.5)
+	if math.Hypot(xT-x0, yT-y0) > 1e-6 {
+		t.Fatalf("walk did not loop: (%v,%v) vs (%v,%v)", x0, y0, xT, yT)
+	}
+	for ti := 0; ti < 300; ti += 7 {
+		x, y := w.Position(float64(ti))
+		if x < 0 || x > 100 || y < 0 || y > 60 {
+			t.Fatalf("walk left the building at t=%d: (%v, %v)", ti, x, y)
+		}
+	}
+}
+
+func TestCaptureNearestIsLoudest(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	b := NewBuilding(100, 100, 60, rng)
+	m := DefaultRSSI()
+	m.ShadowSigma = 0
+	x, y := 25.0, 30.0
+	frames := b.Capture(x, y, m, rng)
+	if len(frames) == 0 {
+		t.Fatal("no frames captured")
+	}
+	loudest := frames[0]
+	for _, f := range frames {
+		if f.RSSI > loudest.RSSI {
+			loudest = f
+		}
+	}
+	// The loudest sniffer must be among the nearest few.
+	s := b.Sniffers[loudest.Sniffer]
+	d := math.Hypot(s.X-x, s.Y-y)
+	for _, o := range b.Sniffers {
+		od := math.Hypot(o.X-x, o.Y-y)
+		if od < d-1e-9 {
+			// A strictly closer sniffer exists; with zero shadowing the
+			// loudest must be the closest.
+			t.Fatalf("loudest sniffer %d at %vm but %d at %vm", loudest.Sniffer, d, o.ID, od)
+		}
+	}
+}

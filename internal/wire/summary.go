@@ -1,0 +1,94 @@
+package wire
+
+import (
+	"repro/internal/tuple"
+)
+
+// EncodeSummary appends a summary tuple, including its routing state:
+// per-tree last-visited levels and the TTL-down counter (§3.3).
+func EncodeSummary(w *Buffer, s tuple.Summary, ttlDown uint8) error {
+	w.PutString(s.Query)
+	w.PutDuration(s.Index.TB)
+	w.PutDuration(s.Index.TE)
+	w.PutDuration(s.Age)
+	w.PutUvarint(uint64(s.Count))
+	w.PutBool(s.Boundary)
+	w.PutUvarint(uint64(s.Hops))
+	if err := w.PutValue(s.Value); err != nil {
+		return err
+	}
+	w.PutUvarint(uint64(len(s.Levels)))
+	for _, l := range s.Levels {
+		w.PutVarint(int64(l))
+	}
+	w.b = append(w.b, ttlDown)
+	return nil
+}
+
+// DecodeSummary reads a summary encoded by EncodeSummary.
+func DecodeSummary(r *Reader) (s tuple.Summary, ttlDown uint8, err error) {
+	if s.Query, err = r.String(); err != nil {
+		return
+	}
+	if s.Index.TB, err = r.Duration(); err != nil {
+		return
+	}
+	if s.Index.TE, err = r.Duration(); err != nil {
+		return
+	}
+	if s.Age, err = r.Duration(); err != nil {
+		return
+	}
+	var cnt uint64
+	if cnt, err = r.Uvarint(); err != nil {
+		return
+	}
+	s.Count = int(cnt)
+	if s.Boundary, err = r.Bool(); err != nil {
+		return
+	}
+	var hops uint64
+	if hops, err = r.Uvarint(); err != nil {
+		return
+	}
+	s.Hops = int(hops)
+	if s.Value, err = r.Value(); err != nil {
+		return
+	}
+	var n uint64
+	if n, err = r.Uvarint(); err != nil || n > uint64(r.Remaining())+1 {
+		err = ErrCorrupt
+		return
+	}
+	s.Levels = make([]int16, n)
+	for i := range s.Levels {
+		var v int64
+		if v, err = r.Varint(); err != nil {
+			return
+		}
+		s.Levels[i] = int16(v)
+	}
+	if r.Remaining() < 1 {
+		err = ErrCorrupt
+		return
+	}
+	ttlDown = r.b[r.off]
+	r.off++
+	return
+}
+
+// SummarySize returns the wire size of a summary for a query striped over
+// the given number of trees.
+func SummarySize(s tuple.Summary, trees int) int {
+	if s.Levels == nil {
+		s.Levels = make([]int16, trees)
+	}
+	var w Buffer
+	_ = EncodeSummary(&w, s, 0)
+	return w.Len()
+}
+
+// HeartbeatSize is the wire size of a heartbeat message: sender id, a
+// sequence number, and the reconciliation summary hash it piggybacks every
+// few beats (amortized).
+func HeartbeatSize() int { return 24 }

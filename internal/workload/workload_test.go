@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/eventsim"
+	"repro/internal/tuple"
+)
+
+func TestPeriodicRateAndPhases(t *testing.T) {
+	sim := eventsim.New(1)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[int]int{}
+	firstAt := map[int]time.Duration{}
+	p := &Periodic{Sim: sim, Period: time.Second, Value: 1}
+	p.Start(10, func(peer int, raw tuple.Raw) {
+		counts[peer]++
+		if _, ok := firstAt[peer]; !ok {
+			firstAt[peer] = sim.Now()
+		}
+		if raw.Vals[0] != 1 {
+			t.Errorf("value = %v", raw.Vals)
+		}
+	}, rng)
+	sim.RunUntil(20 * time.Second)
+	for peer, c := range counts {
+		if c < 18 || c > 20 {
+			t.Fatalf("peer %d emitted %d tuples in 20s", peer, c)
+		}
+	}
+	// Phases must differ across peers.
+	distinct := map[time.Duration]bool{}
+	for _, at := range firstAt {
+		distinct[at] = true
+	}
+	if len(distinct) < 5 {
+		t.Fatalf("only %d distinct phases for 10 sensors", len(distinct))
+	}
+	p.Stop()
+	before := len(counts)
+	_ = before
+	c0 := counts[0]
+	sim.RunFor(5 * time.Second)
+	if counts[0] != c0 {
+		t.Fatal("sensor kept emitting after Stop")
+	}
+}
+
+func TestTrueWindowStamping(t *testing.T) {
+	sim := eventsim.New(2)
+	rng := rand.New(rand.NewSource(2))
+	p := &Periodic{Sim: sim, Period: 500 * time.Millisecond, Value: 1, TrueWindowKey: time.Second}
+	bad := 0
+	p.Start(3, func(peer int, raw tuple.Raw) {
+		want := int64(sim.Now() / time.Second)
+		if raw.Key != itoa(want) {
+			bad++
+		}
+	}, rng)
+	sim.RunUntil(10 * time.Second)
+	if bad != 0 {
+		t.Fatalf("%d tuples stamped with wrong true window", bad)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func TestZipfKeysSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipfKeys(rng, 1.5, 100)
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	if counts["k0"] < 3000 {
+		t.Fatalf("zipf head k0 = %d of 10000, want dominant", counts["k0"])
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d distinct keys", len(counts))
+	}
+}
