@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -26,6 +27,9 @@ import (
 	"repro/internal/mortar"
 	"repro/internal/netem"
 	"repro/internal/plan"
+	rtpkg "repro/internal/runtime"
+	"repro/internal/runtime/livert"
+	"repro/internal/runtime/simrt"
 	"repro/internal/treesim"
 	"repro/internal/tslist"
 	"repro/internal/tuple"
@@ -82,7 +86,7 @@ func ablationRun(b *testing.B, cfg mortar.Config, d int, failFrac float64) float
 	p := netem.PaperTopology(170)
 	topo := netem.GenerateTransitStub(p, rng)
 	net := netem.New(sim, topo)
-	fab, err := mortar.NewFabric(net, nil, cfg)
+	fab, err := mortar.NewFabric(simrt.New(net), nil, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -213,6 +217,63 @@ func BenchmarkAblationNetDistAlpha(b *testing.B) {
 			b.ReportMetric(c, fmt.Sprintf("completeness%%/alpha%.2f", alpha))
 		}
 	}
+}
+
+// --- Live runtime ---
+
+// BenchmarkLiveThroughput measures end-to-end tuple throughput of a
+// federation running on the goroutine-per-peer live runtime: every
+// injected tuple crosses a peer mailbox, is windowed, and its summaries
+// traverse the concurrent in-process transport toward the root. The timed
+// section ends only after a drain barrier clears every mailbox, so the
+// metric reflects tuples processed, not merely enqueued.
+func BenchmarkLiveThroughput(b *testing.B) {
+	const peers = 8
+	rt := livert.New(peers, livert.Options{
+		Seed:     1,
+		MinDelay: 50 * time.Microsecond,
+		MaxDelay: 200 * time.Microsecond,
+	})
+	cfg := mortar.DefaultConfig()
+	cfg.HeartbeatPeriod = 100 * time.Millisecond
+	cfg.MinTimeout = 20 * time.Millisecond
+	fab, err := mortar.NewFabric(rt, nil, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var results atomic.Uint64
+	fab.OnResult = func(mortar.Result) { results.Add(1) }
+	rng := rand.New(rand.NewSource(2))
+	meta := mortar.QueryMeta{
+		Name:      "bench",
+		Seq:       1,
+		OpName:    "sum",
+		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: 100 * time.Millisecond, Slide: 100 * time.Millisecond},
+		Root:      0,
+		IssuedSim: rt.Clock(0).Now(),
+	}
+	def, err := fab.Compile(meta, nil, randomPoints(peers, rng), 4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := fab.Install(0, def); err != nil {
+		b.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the install multicast wire the trees
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fab.Inject(i%peers, tuple.Raw{Vals: []float64{1}})
+	}
+	// Drain barrier: mailboxes are FIFO, so once these closures run every
+	// injected tuple has been windowed.
+	for i := 0; i < peers; i++ {
+		rtpkg.ExecWait(rt, i, func() {})
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+	time.Sleep(400 * time.Millisecond) // let in-flight windows evict and report
+	rt.Shutdown()
+	b.ReportMetric(float64(results.Load()), "results")
 }
 
 // --- Microbenchmarks of the hot data structures ---

@@ -1,12 +1,18 @@
-// Command mortard runs an emulated Mortar federation and executes an MSL
-// program against it, streaming root results to stdout. It is the
-// "daemon"-shaped entry point: the same fabric the experiments use, driven
-// by a user-supplied query program.
+// Command mortard runs a Mortar federation and executes an MSL program
+// against it, streaming root results to stdout. It is the "daemon"-shaped
+// entry point, with two backends:
+//
+//   - default: the deterministic discrete-event emulation the experiments
+//     use, compressing minutes of virtual time into milliseconds;
+//   - -live: real concurrency — every peer is a goroutine with a mailbox,
+//     timers fire on the wall clock, and messages cross an in-process
+//     lossy transport. The run takes -duration of real time.
 //
 // Usage:
 //
 //	mortard -peers 200 -duration 60s -msl query.msl
-//	mortard -peers 100 -fail 0.2   # with 20% of peers disconnected
+//	mortard -peers 100 -fail 0.2        # with 20% of peers disconnected
+//	mortard -live -peers 50 -duration 5s
 package main
 
 import (
@@ -20,16 +26,20 @@ import (
 	"repro/internal/federation"
 	"repro/internal/msl"
 	"repro/internal/netem"
+	"repro/internal/runtime/livert"
 	"repro/internal/tuple"
 )
 
 func main() {
 	var (
 		peers    = flag.Int("peers", 100, "federation size")
-		duration = flag.Duration("duration", 30*time.Second, "virtual run time")
+		duration = flag.Duration("duration", 30*time.Second, "run time (virtual, or real with -live)")
 		program  = flag.String("msl", "", "MSL program file (default: a count query)")
 		fail     = flag.Float64("fail", 0, "fraction of peers to disconnect mid-run")
 		seed     = flag.Int64("seed", 1, "random seed")
+		live     = flag.Bool("live", false, "run peers as goroutines on the live runtime instead of the simulator")
+		loss     = flag.Float64("loss", 0.01, "live transport loss probability (-live only)")
+		dup      = flag.Float64("dup", 0, "live transport control-plane duplication probability (-live only)")
 	)
 	flag.Parse()
 
@@ -48,8 +58,13 @@ func main() {
 		os.Exit(1)
 	}
 
-	sim := eventsim.New(*seed)
 	rng := rand.New(rand.NewSource(*seed))
+	if *live {
+		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup)
+		return
+	}
+
+	sim := eventsim.New(*seed)
 	topo := netem.GenerateTransitStub(netem.PaperTopology(*peers), rng)
 	net := netem.New(sim, topo)
 	fed, err := federation.New(net, prog, rng)
@@ -74,4 +89,42 @@ func main() {
 		})
 	}
 	sim.RunUntil(*duration)
+}
+
+// runLive executes the same program on the goroutine-per-peer runtime and
+// sleeps through real time instead of stepping a simulator.
+func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64) {
+	rt := livert.New(peers, livert.Options{
+		Seed:     seed,
+		MinDelay: 500 * time.Microsecond,
+		MaxDelay: 10 * time.Millisecond,
+		Loss:     loss,
+		CtrlDup:  dup,
+	})
+	fed, err := federation.NewRuntime(rt, prog, rng)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fed.PrintResults(os.Stdout)
+	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
+		return tuple.Raw{Vals: []float64{1}}
+	}, rng)
+
+	if fail > 0 {
+		time.Sleep(duration / 3)
+		n := int(fail * float64(peers))
+		fmt.Printf("# disconnecting %d peers\n", n)
+		fed.FailRandom(n, rng)
+		time.Sleep(duration / 3)
+		fmt.Println("# reconnecting all peers")
+		fed.RecoverAll()
+		time.Sleep(duration - 2*(duration/3))
+	} else {
+		time.Sleep(duration)
+	}
+	rt.Shutdown()
+	sent, delivered, dropped, duplicated := rt.Stats()
+	fmt.Printf("# live transport: sent=%d delivered=%d dropped=%d duplicated=%d\n",
+		sent, delivered, dropped, duplicated)
 }

@@ -28,7 +28,7 @@ type QueryDef = mortar.QueryDef
 // Result is one root-reported answer. See mortar.Result.
 type Result = mortar.Result
 
-// NewFabric creates one peer per host of the topology.
+// NewFabric creates one peer per slot of a runtime backend.
 var NewFabric = mortar.NewFabric
 
 // DefaultConfig returns the paper's evaluation settings.

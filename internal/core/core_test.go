@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/eventsim"
 	"repro/internal/netem"
+	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
 )
 
@@ -20,7 +21,7 @@ func TestCoreFacade(t *testing.T) {
 	p.Transits = 2
 	topo := netem.GenerateTransitStub(p, rng)
 	net := netem.New(sim, topo)
-	fab, err := NewFabric(net, nil, DefaultConfig())
+	fab, err := NewFabric(simrt.New(net), nil, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/mortar"
 	"repro/internal/netem"
+	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
 	"repro/internal/vclock"
 	"repro/internal/vivaldi"
@@ -113,7 +114,7 @@ func newTestbed(seed int64, hosts int, clocks []vclock.Clock, cfg mortar.Config)
 	rng := rand.New(rand.NewSource(seed))
 	topo := netem.GenerateTransitStub(netem.PaperTopology(hosts), rng)
 	net := netem.New(sim, topo)
-	fab, err := mortar.NewFabric(net, clocks, cfg)
+	fab, err := mortar.NewFabric(simrt.New(net), clocks, cfg)
 	if err != nil {
 		panic(err)
 	}

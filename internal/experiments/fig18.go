@@ -11,6 +11,7 @@ import (
 	"repro/internal/mortar"
 	"repro/internal/netem"
 	"repro/internal/ops"
+	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
 	"repro/internal/wifi"
 	"repro/internal/wire"
@@ -35,7 +36,7 @@ func Figure18(opt Options) *Table {
 		rng := rand.New(rand.NewSource(opt.Seed))
 		topo := netem.GenerateStar(sniffers, time.Millisecond, 100e6)
 		net := netem.New(sim, topo)
-		fab, err := mortar.NewFabric(net, nil, mortar.DefaultConfig())
+		fab, err := mortar.NewFabric(simrt.New(net), nil, mortar.DefaultConfig())
 		if err != nil {
 			panic(err)
 		}

@@ -1,15 +1,21 @@
 // Package federation is the high-level entry point this library's
 // applications use: it takes a parsed Mortar Stream Language program and a
-// network, plans and installs every query (chaining subscriptions for
-// queries that source other queries' output streams), and exposes sensor
-// injection and failure control. The mortard command and the examples are
-// thin wrappers around it.
+// runtime backend, plans and installs every query (chaining subscriptions
+// for queries that source other queries' output streams), and exposes
+// sensor injection and failure control. The mortard command and the
+// examples are thin wrappers around it.
+//
+// Two constructors mirror the two runtime backends: New wraps an emulated
+// netem network in the deterministic simulator runtime; NewRuntime accepts
+// any runtime.Runtime, which is how mortard -live drives a federation of
+// real goroutine peers.
 package federation
 
 import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -17,6 +23,8 @@ import (
 	"repro/internal/mortar"
 	"repro/internal/msl"
 	"repro/internal/netem"
+	"repro/internal/runtime"
+	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
 	"repro/internal/vivaldi"
 )
@@ -27,37 +35,54 @@ const (
 	DefaultBF    = 16
 )
 
-// Federation is a running set of queries over an emulated node set.
+// Federation is a running set of queries over a node set.
 type Federation struct {
 	Fab  *mortar.Fabric
 	Prog *msl.Program
-	Sim  *eventsim.Sim
+	Rt   runtime.Runtime
+	// Sim is the driving simulator; nil when the federation runs on a
+	// non-simulated backend (use the backend's own lifecycle then).
+	Sim *eventsim.Sim
 
 	defs map[string]*mortar.QueryDef
 	down []int
 	seq  uint64
 }
 
-// New plans and installs every query of prog over net's hosts. Queries
-// sourcing "sensors" span all peers; queries sourcing another query run at
-// their root only and are fed by subscription (§2.2 composition).
+// New plans and installs every query of prog over net's hosts, driven by
+// the deterministic simulator backend.
 func New(net *netem.Network, prog *msl.Program, rng *rand.Rand) (*Federation, error) {
-	fab, err := mortar.NewFabric(net, nil, mortar.DefaultConfig())
+	f, err := NewRuntime(simrt.New(net), prog, rng)
 	if err != nil {
 		return nil, err
 	}
-	f := &Federation{Fab: fab, Prog: prog, Sim: net.Sim(), defs: map[string]*mortar.QueryDef{}}
+	f.Sim = net.Sim()
+	return f, nil
+}
+
+// NewRuntime plans and installs every query of prog over any runtime
+// backend. Queries sourcing "sensors" span all peers; queries sourcing
+// another query run at their root only and are fed by subscription (§2.2
+// composition).
+func NewRuntime(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand) (*Federation, error) {
+	fab, err := mortar.NewFabric(rt, nil, mortar.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	f := &Federation{Fab: fab, Prog: prog, Rt: rt, defs: map[string]*mortar.QueryDef{}}
 
 	// Network coordinates for planning, as the prototype sources them from
-	// Vivaldi (§3.1).
-	hosts := net.Topology().Hosts()
-	sys := vivaldi.NewSystem(len(hosts), vivaldi.DefaultConfig(), rng)
-	sys.Run(10, 8, func(i, j int) time.Duration { return net.Latency(hosts[i], hosts[j]) })
-	coords := make([]cluster.Point, len(hosts))
+	// Vivaldi (§3.1). Latencies come from the runtime's transport.
+	n := rt.NumPeers()
+	tr := rt.Transport()
+	sys := vivaldi.NewSystem(n, vivaldi.DefaultConfig(), rng)
+	sys.Run(10, 8, func(i, j int) time.Duration { return tr.Latency(i, j) })
+	coords := make([]cluster.Point, n)
 	for i, c := range sys.Coordinates() {
 		coords[i] = cluster.Point(c)
 	}
 
+	now := rt.Clock(0).Now()
 	for _, st := range prog.Statements {
 		f.seq++
 		meta := mortar.QueryMeta{
@@ -68,7 +93,7 @@ func New(net *netem.Network, prog *msl.Program, rng *rand.Rand) (*Federation, er
 			Window:    st.Window,
 			FilterKey: st.FilterKey,
 			Root:      0,
-			IssuedSim: f.Sim.Now(),
+			IssuedSim: now,
 		}
 		trees, bf := st.Trees, st.BF
 		if trees == 0 {
@@ -102,33 +127,43 @@ func New(net *netem.Network, prog *msl.Program, rng *rand.Rand) (*Federation, er
 func (f *Federation) Def(name string) *mortar.QueryDef { return f.defs[name] }
 
 // StartSensors emits one tuple per period per peer using gen, with
-// per-peer phase jitter.
+// per-peer phase jitter. gen runs inside each peer's serialization domain;
+// under a live runtime that means concurrently across peers, so it must
+// not share mutable state between peers.
 func (f *Federation) StartSensors(period time.Duration, gen func(peer int) tuple.Raw, rng *rand.Rand) {
 	for i := 0; i < f.Fab.NumPeers(); i++ {
 		i := i
+		ck := f.Rt.Clock(i)
 		phase := time.Duration(rng.Int63n(int64(period)))
-		f.Sim.After(phase, func() {
-			f.Sim.Every(period, func() {
+		ck.After(phase, func() {
+			ck.Every(period, func() {
 				f.Fab.Inject(i, gen(i))
 			})
 		})
 	}
 }
 
-// PrintResults streams every root result to w as it is reported.
+// PrintResults streams every root result to w as it is reported. It
+// attaches through the fabric's synchronized subscription path and
+// serializes the writer, so it is safe to call while a live federation is
+// already running.
 func (f *Federation) PrintResults(w io.Writer) {
-	prev := f.Fab.OnResult
-	f.Fab.OnResult = func(r mortar.Result) {
-		if prev != nil {
-			prev(r)
-		}
+	var mu sync.Mutex
+	f.Fab.SubscribeAll(func(r mortar.Result) {
+		mu.Lock()
+		defer mu.Unlock()
 		fmt.Fprintf(w, "t=%-8v query=%-10s window=%-4d value=%v completeness=%d hops=%d\n",
 			r.At.Truncate(time.Millisecond), r.Query, r.WindowIndex, r.Value, r.Count, r.Hops)
-	}
+	})
 }
 
-// FailRandom disconnects n random non-root peers.
+// FailRandom disconnects n random non-root peers. n is clamped to the
+// non-root peer count (asking for everything would otherwise spin forever
+// redrawing already-down peers).
 func (f *Federation) FailRandom(n int, rng *rand.Rand) {
+	if max := f.Fab.NumPeers() - 1; n > max {
+		n = max
+	}
 	for len(f.down) < n {
 		p := 1 + rng.Intn(f.Fab.NumPeers()-1)
 		if !f.Fab.Down(p) {

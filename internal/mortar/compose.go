@@ -13,17 +13,25 @@ import (
 // location service composes select -> topk -> trilat this way (§7.4).
 
 // Subscribe invokes fn for every result the named query's root reports, in
-// addition to the fabric-wide OnResult hook.
+// addition to the fabric-wide OnResult hook. Unlike assigning OnResult,
+// subscribing is synchronized and safe while queries are already live.
 func (f *Fabric) Subscribe(query string, fn func(Result)) {
-	prev := f.OnResult
-	f.OnResult = func(r Result) {
-		if prev != nil {
-			prev(r)
-		}
+	f.SubscribeAll(func(r Result) {
 		if r.Query == query {
 			fn(r)
 		}
-	}
+	})
+}
+
+// SubscribeAll invokes fn for every root-reported result of every query.
+func (f *Fabric) SubscribeAll(fn func(Result)) {
+	f.subMu.Lock()
+	// Copy-on-write so emitResult can iterate a snapshot without holding
+	// the lock across callbacks.
+	subs := make([]func(Result), len(f.subs), len(f.subs)+1)
+	copy(subs, f.subs)
+	f.subs = append(subs, fn)
+	f.subMu.Unlock()
 }
 
 // Chain feeds the results of query `from` into query `to` as raw tuples at

@@ -3,12 +3,13 @@ package mortar
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/eventsim"
-	"repro/internal/netem"
 	"repro/internal/plan"
+	"repro/internal/runtime"
 	"repro/internal/tuple"
 	"repro/internal/vclock"
 )
@@ -37,6 +38,7 @@ type Config struct {
 	TimeoutSlack  time.Duration
 	TimeoutFactor float64
 	// TTLDownMax bounds flex-down steps before a tuple is dropped (§3.3).
+	// Zero disables flex-down descent entirely (an ablation setting).
 	TTLDownMax int
 	// MaxStage caps the staged routing policy for ablations: 1 same-tree
 	// only, 2 adds up*, 3 adds flex, 4 adds flex-down (the default).
@@ -67,69 +69,170 @@ func DefaultConfig() Config {
 	}
 }
 
-// Stats aggregates fabric-wide counters for the experiment harness.
-type Stats struct {
-	// ResultsReported counts results emitted by query roots.
-	ResultsReported uint64
-	// LateAtRoot counts summaries that reached the root after their window
-	// had been reported (data lost to the result).
-	LateAtRoot uint64
-	// Dropped counts tuples dropped by the routing policy (no live
-	// destination or TTL exhausted).
-	Dropped uint64
-	// Relayed counts tuples forwarded without merging (late at an interior
-	// operator, §4.3 path).
-	Relayed uint64
-	// FlexDownHops counts stage-4 descents.
-	FlexDownHops uint64
+// Validate normalizes the configuration and rejects nonsense. Zero-valued
+// knobs pick up the paper defaults (so Config{} is usable), negative or
+// out-of-range values are errors: without this a zero HeartbeatPeriod
+// would panic the ticker and a zero ReconcileEveryBeats would divide by
+// zero once peers are long-lived live processes. TTLDownMax and
+// TimeoutSlack may legitimately be zero (ablations use both) and are only
+// checked for sign; Syncless false is a meaningful mode, not a zero value.
+func (c Config) Validate() (Config, error) {
+	def := DefaultConfig()
+	fill := func(v *time.Duration, d time.Duration, name string) error {
+		if *v == 0 {
+			*v = d
+		}
+		if *v < 0 {
+			return fmt.Errorf("mortar: %s %v must be positive", name, *v)
+		}
+		return nil
+	}
+	if err := fill(&c.HeartbeatPeriod, def.HeartbeatPeriod, "HeartbeatPeriod"); err != nil {
+		return c, err
+	}
+	if err := fill(&c.MinTimeout, def.MinTimeout, "MinTimeout"); err != nil {
+		return c, err
+	}
+	if err := fill(&c.MaxTimeout, def.MaxTimeout, "MaxTimeout"); err != nil {
+		return c, err
+	}
+	if c.MaxTimeout < c.MinTimeout {
+		return c, fmt.Errorf("mortar: MaxTimeout %v < MinTimeout %v", c.MaxTimeout, c.MinTimeout)
+	}
+	if c.TimeoutSlack < 0 {
+		return c, fmt.Errorf("mortar: TimeoutSlack %v must not be negative", c.TimeoutSlack)
+	}
+	if c.ReconcileEveryBeats == 0 {
+		c.ReconcileEveryBeats = def.ReconcileEveryBeats
+	}
+	if c.ReconcileEveryBeats < 0 {
+		return c, fmt.Errorf("mortar: ReconcileEveryBeats %d must be positive", c.ReconcileEveryBeats)
+	}
+	if c.LivenessMultiple == 0 {
+		c.LivenessMultiple = def.LivenessMultiple
+	}
+	if c.LivenessMultiple <= 0 {
+		return c, fmt.Errorf("mortar: LivenessMultiple %v must be positive", c.LivenessMultiple)
+	}
+	if c.NetDistAlpha == 0 {
+		c.NetDistAlpha = def.NetDistAlpha
+	}
+	if c.NetDistAlpha < 0 || c.NetDistAlpha > 1 {
+		return c, fmt.Errorf("mortar: NetDistAlpha %v outside [0, 1]", c.NetDistAlpha)
+	}
+	if c.TimeoutFactor == 0 {
+		c.TimeoutFactor = def.TimeoutFactor
+	}
+	if c.TimeoutFactor < 0 {
+		return c, fmt.Errorf("mortar: TimeoutFactor %v must not be negative", c.TimeoutFactor)
+	}
+	if c.TTLDownMax < 0 {
+		return c, fmt.Errorf("mortar: TTLDownMax %d must not be negative", c.TTLDownMax)
+	}
+	if c.MaxStage == 0 {
+		c.MaxStage = def.MaxStage
+	}
+	if c.MaxStage < 1 || c.MaxStage > 4 {
+		return c, fmt.Errorf("mortar: MaxStage %d outside 1..4", c.MaxStage)
+	}
+	if c.InstallChunks == 0 {
+		c.InstallChunks = def.InstallChunks
+	}
+	if c.InstallChunks < 0 {
+		return c, fmt.Errorf("mortar: InstallChunks %d must be positive", c.InstallChunks)
+	}
+	return c, nil
 }
 
-// Fabric is an emulated Mortar federation: one peer per host of the
-// underlying topology, driven by a shared event simulator.
+// Stats aggregates fabric-wide counters for the experiment harness. The
+// counters are atomic because live-runtime peers increment them from
+// concurrent goroutines.
+type Stats struct {
+	// ResultsReported counts results emitted by query roots.
+	ResultsReported atomic.Uint64
+	// LateAtRoot counts summaries that reached the root after their window
+	// had been reported (data lost to the result).
+	LateAtRoot atomic.Uint64
+	// Dropped counts tuples dropped by the routing policy (no live
+	// destination or TTL exhausted).
+	Dropped atomic.Uint64
+	// Relayed counts tuples forwarded without merging (late at an interior
+	// operator, §4.3 path).
+	Relayed atomic.Uint64
+	// FlexDownHops counts stage-4 descents.
+	FlexDownHops atomic.Uint64
+}
+
+// Fabric is a Mortar federation: one peer per runtime slot. The same fabric
+// code runs single-threaded inside the discrete-event simulator
+// (runtime/simrt) or with one goroutine per peer (runtime/livert); which
+// one is chosen by the runtime handed to NewFabric.
 type Fabric struct {
-	Sim *eventsim.Sim
-	Net *netem.Network
+	Rt  runtime.Runtime
 	Cfg Config
 
-	peers  []*Peer
-	hosts  []netem.NodeID
-	peerOf map[netem.NodeID]int
-	rng    *rand.Rand
+	peers []*Peer
+	tr    runtime.Transport
+	rng   *rand.Rand
 
-	// OnResult receives every root-reported result.
+	// OnResult receives every root-reported result. Set it before
+	// installing queries; under a live runtime it is invoked from the root
+	// peer's goroutine and must be safe for that. To attach consumers
+	// after queries are live, use Subscribe/SubscribeAll instead — those
+	// are synchronized.
 	OnResult func(Result)
 	// Stats holds fabric-wide counters.
 	Stats Stats
+
+	subMu sync.RWMutex
+	subs  []func(Result)
 }
 
-// NewFabric creates one peer per host. clocks may be nil (perfect clocks)
-// or one per host.
-func NewFabric(net *netem.Network, clocks []vclock.Clock, cfg Config) (*Fabric, error) {
-	hosts := net.Topology().Hosts()
-	if len(hosts) == 0 {
-		return nil, fmt.Errorf("mortar: topology has no hosts")
+// emitResult fans a root result out to the OnResult hook and to every
+// registered subscriber.
+func (f *Fabric) emitResult(r Result) {
+	if f.OnResult != nil {
+		f.OnResult(r)
 	}
-	if clocks != nil && len(clocks) != len(hosts) {
-		return nil, fmt.Errorf("mortar: %d clocks for %d hosts", len(clocks), len(hosts))
+	f.subMu.RLock()
+	subs := f.subs
+	f.subMu.RUnlock()
+	for _, fn := range subs {
+		fn(r)
+	}
+}
+
+// NewFabric creates one peer per runtime slot. clocks may be nil (perfect
+// clocks) or one per peer. cfg is validated; zero-valued knobs pick up
+// paper defaults — except the boolean Syncless, which a zero Config
+// leaves false (timestamp indexing). Start from DefaultConfig() for the
+// paper's syncless mode.
+func NewFabric(rt runtime.Runtime, clocks []vclock.Clock, cfg Config) (*Fabric, error) {
+	cfg, err := cfg.Validate()
+	if err != nil {
+		return nil, err
+	}
+	n := rt.NumPeers()
+	if n == 0 {
+		return nil, fmt.Errorf("mortar: runtime has no peers")
+	}
+	if clocks != nil && len(clocks) != n {
+		return nil, fmt.Errorf("mortar: %d clocks for %d peers", len(clocks), n)
 	}
 	f := &Fabric{
-		Sim:    net.Sim(),
-		Net:    net,
-		Cfg:    cfg,
-		hosts:  hosts,
-		peerOf: make(map[netem.NodeID]int, len(hosts)),
-		rng:    rand.New(rand.NewSource(net.Sim().Rand().Int63())),
+		Rt:  rt,
+		Cfg: cfg,
+		tr:  rt.Transport(),
+		rng: rt.Rand(),
 	}
-	for i, h := range hosts {
-		f.peerOf[h] = i
+	for i := 0; i < n; i++ {
 		ck := vclock.Perfect()
 		if clocks != nil {
 			ck = clocks[i]
 		}
-		p := newPeer(f, i, h, ck)
+		p := newPeer(f, i, rt.Clock(i), ck)
 		f.peers = append(f.peers, p)
-		h := h
-		net.Handle(h, p.deliver)
+		f.tr.Handle(i, p.deliver)
 	}
 	return f, nil
 }
@@ -140,11 +243,11 @@ func (f *Fabric) NumPeers() int { return len(f.peers) }
 // Peer returns the i'th peer.
 func (f *Fabric) Peer(i int) *Peer { return f.peers[i] }
 
-// SetDown disconnects (true) or reconnects (false) a peer's host.
-func (f *Fabric) SetDown(i int, down bool) { f.Net.SetDown(f.hosts[i], down) }
+// SetDown disconnects (true) or reconnects (false) a peer.
+func (f *Fabric) SetDown(i int, down bool) { f.tr.SetDown(i, down) }
 
 // Down reports whether a peer is disconnected.
-func (f *Fabric) Down(i int) bool { return f.Net.Down(f.hosts[i]) }
+func (f *Fabric) Down(i int) bool { return f.tr.Down(i) }
 
 // LiveCount returns the number of connected peers.
 func (f *Fabric) LiveCount() int {
@@ -157,19 +260,27 @@ func (f *Fabric) LiveCount() int {
 	return n
 }
 
-// Inject delivers a raw sensor tuple to a peer's local source stream. The
-// tuple's At field is stamped by the peer in its own windowing frame.
-func (f *Fabric) Inject(peer int, raw tuple.Raw) { f.peers[peer].injectRaw(raw) }
+// Inject delivers a raw sensor tuple to a peer's local source stream, from
+// any goroutine. The tuple's At field is stamped by the peer in its own
+// windowing frame. An out-of-range peer panics on every backend (the live
+// runtime's Exec would otherwise silently drop the tuple).
+func (f *Fabric) Inject(peer int, raw tuple.Raw) {
+	if peer < 0 || peer >= len(f.peers) {
+		panic(fmt.Sprintf("mortar: Inject peer %d out of range [0,%d)", peer, len(f.peers)))
+	}
+	f.Rt.Exec(peer, func() { f.peers[peer].injectRaw(raw) })
+}
 
-// send transmits a control or data message between peers over the emulated
-// network, charging the encoded size.
-func (f *Fabric) send(from, to int, class netem.TrafficClass, payload any) {
-	f.Net.Send(f.hosts[from], f.hosts[to], class, msgSize(payload), payload)
+// send transmits a control or data message between peers over the runtime
+// transport, charging the encoded size.
+func (f *Fabric) send(from, to int, class runtime.Class, payload any) {
+	f.tr.Send(from, to, class, msgSize(payload), payload)
 }
 
 // Compile plans a query over the given member peers (all peers when members
 // is nil) using their network coordinates, producing bf-ary trees with a
-// tree set of size d rooted at the issuing peer.
+// tree set of size d rooted at the issuing peer. Call from the driving
+// goroutine (planning uses the runtime's unsynchronized random source).
 func (f *Fabric) Compile(meta QueryMeta, members []int, coords []cluster.Point, bf, d int) (*QueryDef, error) {
 	if members == nil {
 		members = make([]int, f.NumPeers())
@@ -207,18 +318,29 @@ func (f *Fabric) Install(issuer int, def *QueryDef) error {
 	if issuer != def.Meta.Root {
 		return fmt.Errorf("mortar: issuer %d must host the root operator (root %d)", issuer, def.Meta.Root)
 	}
-	f.peers[issuer].startInstall(def)
+	if !f.Rt.Exec(issuer, func() { f.peers[issuer].startInstall(def) }) {
+		return fmt.Errorf("mortar: runtime is shut down")
+	}
 	return nil
 }
 
 // Remove multicasts removal of a query from the issuing peer, using the
-// cached definition at the root for chunking.
+// cached definition at the root for chunking. Call from the driving
+// goroutine, never from inside a peer callback.
 func (f *Fabric) Remove(issuer int, name string, seq uint64) error {
-	return f.peers[issuer].startRemove(name, seq)
+	var err error
+	if !runtime.ExecWait(f.Rt, issuer, func() {
+		err = f.peers[issuer].startRemove(name, seq)
+	}) {
+		return fmt.Errorf("mortar: runtime is shut down")
+	}
+	return err
 }
 
 // InstalledCount returns how many peers currently host an operator for the
-// query (Figure 11's y-axis).
+// query (Figure 11's y-axis). It reads peer state directly: call it only
+// while the runtime is quiescent (the simulator between steps, or a live
+// runtime after Shutdown).
 func (f *Fabric) InstalledCount(name string) int {
 	n := 0
 	for _, p := range f.peers {
@@ -230,7 +352,7 @@ func (f *Fabric) InstalledCount(name string) int {
 }
 
 // WiredCount returns how many installed operators know their tree
-// positions.
+// positions. Quiescent-only, like InstalledCount.
 func (f *Fabric) WiredCount(name string) int {
 	n := 0
 	for _, p := range f.peers {

@@ -4,9 +4,8 @@ import (
 	"math"
 	"time"
 
-	"repro/internal/eventsim"
-	"repro/internal/netem"
 	"repro/internal/ops"
+	"repro/internal/runtime"
 	"repro/internal/tslist"
 	"repro/internal/tuple"
 )
@@ -40,7 +39,7 @@ type instance struct {
 	// extend it (§4.3).
 	sinceSlide int
 	lastTE     time.Duration
-	stallTick  *eventsim.Timer
+	stallTick  runtime.Timer
 
 	// Reference clock (§5.1): local frame used for indexing. For syncless
 	// operation, frameNow = refBase + (localNow - installLocal); for
@@ -49,10 +48,10 @@ type instance struct {
 	refBase      time.Duration
 
 	curSlide   int64 // next local slide boundary to close
-	slideTimer *eventsim.Timer
+	slideTimer runtime.Timer
 
 	ts           *tslist.List
-	evictTimer   *eventsim.Timer
+	evictTimer   runtime.Timer
 	lastEvicted  int64 // highest window index already evicted (late detection)
 	lastReported int64 // highest window index reported (root only)
 
@@ -87,7 +86,7 @@ func (p *Peer) newInstance(meta QueryMeta) (*instance, error) {
 	if p.fab.Cfg.Syncless {
 		// t_ref begins at the age of the install message: the operator
 		// pretends it started when the query was issued (§5.1).
-		inst.refBase = p.clock.Elapsed(p.fab.Sim.Now() - meta.IssuedSim)
+		inst.refBase = p.clock.Elapsed(p.now() - meta.IssuedSim)
 	}
 	return inst, nil
 }
@@ -137,7 +136,7 @@ func (inst *instance) stop() {
 const stallPeriod = 2 * time.Second
 
 func (inst *instance) scheduleStall() {
-	inst.stallTick = inst.peer.fab.Sim.After(stallPeriod, func() {
+	inst.stallTick = inst.peer.rtc.After(stallPeriod, func() {
 		if !inst.rawInSlide && inst.everRaw {
 			now := inst.frameNow()
 			inst.absorb(tuple.Summary{
@@ -195,8 +194,8 @@ func (inst *instance) tupleArrived() {
 
 func (inst *instance) scheduleSlide() {
 	boundary := time.Duration(inst.curSlide+1) * inst.meta.Window.Slide
-	delay := inst.peer.simDelayForLocal(boundary - inst.frameNow())
-	inst.slideTimer = inst.peer.fab.Sim.After(delay, inst.closeSlide)
+	delay := inst.peer.runtimeDelayForLocal(boundary - inst.frameNow())
+	inst.slideTimer = inst.peer.rtc.After(delay, inst.closeSlide)
 }
 
 // injectRaw feeds a raw sensor tuple into every matching local operator.
@@ -390,15 +389,15 @@ func (inst *instance) armEvict() {
 	if !ok {
 		return
 	}
-	delay := inst.peer.simDelayForLocal(dl - inst.frameNow())
+	delay := inst.peer.runtimeDelayForLocal(dl - inst.frameNow())
 	if inst.evictTimer != nil && !inst.evictTimer.Stopped() {
 		// Keep the existing timer if it already fires early enough.
-		if inst.evictTimer.When() <= inst.peer.fab.Sim.Now()+delay {
+		if inst.evictTimer.When() <= inst.peer.now()+delay {
 			return
 		}
 		inst.evictTimer.Cancel()
 	}
-	inst.evictTimer = inst.peer.fab.Sim.After(delay, inst.evictExpired)
+	inst.evictTimer = inst.peer.rtc.After(delay, inst.evictExpired)
 }
 
 func (inst *instance) evictExpired() {
@@ -439,23 +438,21 @@ func (inst *instance) evictExpired() {
 // order, so every eviction is reported.
 func (inst *instance) reportInterval(n int64, s tuple.Summary) {
 	f := inst.peer.fab
-	f.Stats.ResultsReported++
+	f.Stats.ResultsReported.Add(1)
 	val := s.Value
 	if inst.fin != nil && val != nil {
 		val = inst.fin.Finalize(val)
 	}
-	if f.OnResult != nil {
-		f.OnResult(Result{
-			Query:       s.Query,
-			WindowIndex: n,
-			Index:       s.Index,
-			Value:       val,
-			Count:       s.Count,
-			Hops:        s.Hops,
-			At:          f.Sim.Now(),
-			Age:         s.Age,
-		})
-	}
+	f.emitResult(Result{
+		Query:       s.Query,
+		WindowIndex: n,
+		Index:       s.Index,
+		Value:       val,
+		Count:       s.Count,
+		Hops:        s.Hops,
+		At:          inst.peer.now(),
+		Age:         s.Age,
+	})
 }
 
 // isRoot reports whether this operator is the query root (no parent in any
@@ -478,27 +475,25 @@ func (inst *instance) isRoot() bool {
 func (inst *instance) report(n int64, s tuple.Summary) {
 	f := inst.peer.fab
 	if n <= inst.lastReported {
-		f.Stats.LateAtRoot++
+		f.Stats.LateAtRoot.Add(1)
 		return
 	}
 	inst.lastReported = n
-	f.Stats.ResultsReported++
+	f.Stats.ResultsReported.Add(1)
 	val := s.Value
 	if inst.fin != nil && val != nil {
 		val = inst.fin.Finalize(val)
 	}
-	if f.OnResult != nil {
-		f.OnResult(Result{
-			Query:       s.Query,
-			WindowIndex: n,
-			Index:       s.Index,
-			Value:       val,
-			Count:       s.Count,
-			Hops:        s.Hops,
-			At:          f.Sim.Now(),
-			Age:         s.Age,
-		})
-	}
+	f.emitResult(Result{
+		Query:       s.Query,
+		WindowIndex: n,
+		Index:       s.Index,
+		Value:       val,
+		Count:       s.Count,
+		Hops:        s.Hops,
+		At:          inst.peer.now(),
+		Age:         s.Age,
+	})
 }
 
 // --- Summary arrival (§3.3, §4) ---
@@ -507,13 +502,13 @@ func (p *Peer) handleSummary(src int, env *envelope) {
 	inst, ok := p.insts[env.S.Query]
 	if !ok || !inst.wired {
 		// We cannot process or even consult tree levels; best-effort drop.
-		p.fab.Stats.Dropped++
+		p.fab.Stats.Dropped.Add(1)
 		return
 	}
 	s := env.S
 	// The transport measures one-hop flight time (UdpCC RTT/2) and adds it
 	// to the tuple's age, measured with the local oscillator.
-	s.Age += p.clock.Elapsed(p.fab.Sim.Now() - env.SentSim)
+	s.Age += p.clock.Elapsed(p.now() - env.SentAt)
 	s.Hops++
 
 	now := inst.frameNow()
@@ -551,7 +546,7 @@ func (p *Peer) handleSummary(src int, env *envelope) {
 			// alone learns from stragglers and stretches its timeout to
 			// the slowest end-to-end path.
 			inst.observe(s, now)
-			p.fab.Stats.LateAtRoot++
+			p.fab.Stats.LateAtRoot.Add(1)
 			return
 		}
 		// Interior operators relay the straggler toward the root without
@@ -561,7 +556,7 @@ func (p *Peer) handleSummary(src int, env *envelope) {
 		// wait for the other's hold plus slack, ratcheting result latency
 		// without bound. Stragglers keep moving; only the root waits for
 		// them.
-		p.fab.Stats.Relayed++
+		p.fab.Stats.Relayed.Add(1)
 		inst.forward(s, env.Tree, env.TTLDown)
 		return
 	}
@@ -576,7 +571,7 @@ func (p *Peer) handleSummary(src int, env *envelope) {
 // staged policy when the preferred parent is unreachable.
 func (inst *instance) routeNew(s tuple.Summary) {
 	if !inst.wired {
-		inst.peer.fab.Stats.Dropped++
+		inst.peer.fab.Stats.Dropped.Add(1)
 		return
 	}
 	s.Levels = tuple.MergeLevels(s.Levels, inst.ownLevels())
@@ -594,7 +589,7 @@ func (inst *instance) routeNew(s tuple.Summary) {
 			// through to another tree to avoid self-delivery artifacts.
 			inst.forward(s, t, 0)
 		} else {
-			inst.peer.fab.Stats.Dropped++
+			inst.peer.fab.Stats.Dropped.Add(1)
 		}
 		return
 	}
@@ -619,7 +614,7 @@ func (inst *instance) routeNew(s tuple.Summary) {
 // no preferred tree).
 func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 	if !inst.wired {
-		inst.peer.fab.Stats.Dropped++
+		inst.peer.fab.Stats.Dropped.Add(1)
 		return
 	}
 	s.Levels = tuple.MergeLevels(s.Levels, inst.ownLevels())
@@ -681,7 +676,7 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 			}
 			for _, c := range nb.Children[t] {
 				if inst.peer.alive(c) {
-					inst.peer.fab.Stats.FlexDownHops++
+					inst.peer.fab.Stats.FlexDownHops.Add(1)
 					inst.send(s, t, c, ttlDown+1)
 					return
 				}
@@ -689,7 +684,7 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 		}
 	}
 	// Stage 5 — drop.
-	inst.peer.fab.Stats.Dropped++
+	inst.peer.fab.Stats.Dropped.Add(1)
 }
 
 // send transmits the summary on tree t, recording the level visited.
@@ -697,6 +692,6 @@ func (inst *instance) send(s tuple.Summary, t, to int, ttlDown uint8) {
 	if t < len(s.Levels) {
 		s.Levels[t] = int16(inst.nb.Levels[t])
 	}
-	env := &envelope{S: s, Tree: t, TTLDown: ttlDown, SentSim: inst.peer.fab.Sim.Now()}
-	inst.peer.fab.send(inst.peer.id, to, netem.ClassData, env)
+	env := &envelope{S: s, Tree: t, TTLDown: ttlDown, SentAt: inst.peer.now()}
+	inst.peer.fab.send(inst.peer.id, to, runtime.ClassData, env)
 }

@@ -15,7 +15,7 @@ type envelope struct {
 	S       tuple.Summary
 	Tree    int // tree of the current hop
 	TTLDown uint8
-	SentSim time.Duration // transmit time; receiver derives flight time (UdpCC RTT/2)
+	SentAt  time.Duration // runtime time at transmit; receiver derives flight time (UdpCC RTT/2)
 }
 
 func (e *envelope) size() int {

@@ -6,27 +6,20 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/eventsim"
-	"repro/internal/netem"
+	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
 	"repro/internal/vclock"
 )
 
-// testbed builds a small fabric over a transit-stub topology.
-func testbed(t *testing.T, hosts int, seed int64, cfg Config, clocks []vclock.Clock) *Fabric {
+// testbed builds a small fabric over a simulated transit-stub topology.
+func testbed(t *testing.T, hosts int, seed int64, cfg Config, clocks []vclock.Clock) (*Fabric, *simrt.Runtime) {
 	t.Helper()
-	sim := eventsim.New(seed)
-	rng := rand.New(rand.NewSource(seed))
-	p := netem.PaperTopology(hosts)
-	p.Stubs = 8
-	p.Transits = 2
-	topo := netem.GenerateTransitStub(p, rng)
-	net := netem.New(sim, topo)
-	fab, err := NewFabric(net, clocks, cfg)
+	rt := simrt.NewPaper(seed, hosts, simrt.TopoOptions{Stubs: 8, Transits: 2})
+	fab, err := NewFabric(rt, clocks, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fab
+	return fab, rt
 }
 
 // uniformCoords gives every peer a random 2-D coordinate (tests don't need
@@ -43,7 +36,7 @@ func uniformCoords(n int, seed int64) []cluster.Point {
 // sumQuery compiles and installs a 1s/1s sum query over all peers, rooted
 // at peer 0, and starts per-peer sensors emitting value 1 every second
 // (the paper's §7.2 microbenchmark).
-func sumQuery(t *testing.T, fab *Fabric, bf, d int) *QueryDef {
+func sumQuery(t *testing.T, fab *Fabric, rt *simrt.Runtime, bf, d int) *QueryDef {
 	t.Helper()
 	meta := QueryMeta{
 		Name:      "sum1",
@@ -51,7 +44,7 @@ func sumQuery(t *testing.T, fab *Fabric, bf, d int) *QueryDef {
 		OpName:    "sum",
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, err := fab.Compile(meta, nil, uniformCoords(fab.NumPeers(), 7), bf, d)
 	if err != nil {
@@ -61,7 +54,7 @@ func sumQuery(t *testing.T, fab *Fabric, bf, d int) *QueryDef {
 		t.Fatal(err)
 	}
 	for i := 0; i < fab.NumPeers(); i++ {
-		startSensor(fab, i)
+		startSensor(fab, rt, i)
 	}
 	return def
 }
@@ -69,19 +62,19 @@ func sumQuery(t *testing.T, fab *Fabric, bf, d int) *QueryDef {
 // startSensor emits value 1 every second from the given peer, with a
 // per-peer phase offset so sensors are not phase-locked to window
 // boundaries (as on a real testbed).
-func startSensor(fab *Fabric, i int) {
+func startSensor(fab *Fabric, rt *simrt.Runtime, i int) {
 	phase := time.Duration(137*(i+1)%997)*time.Millisecond + 500*time.Microsecond
-	fab.Sim.After(phase, func() {
-		fab.Sim.Every(time.Second, func() {
+	rt.After(phase, func() {
+		rt.Every(time.Second, func() {
 			fab.Inject(i, tuple.Raw{Vals: []float64{1}})
 		})
 	})
 }
 
 func TestInstallCoversAllLiveNodes(t *testing.T) {
-	fab := testbed(t, 60, 1, DefaultConfig(), nil)
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(5 * time.Second)
+	fab, rt := testbed(t, 60, 1, DefaultConfig(), nil)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(5 * time.Second)
 	if got := fab.InstalledCount("sum1"); got != 60 {
 		t.Fatalf("installed = %d, want 60", got)
 	}
@@ -91,11 +84,11 @@ func TestInstallCoversAllLiveNodes(t *testing.T) {
 }
 
 func TestSumQueryReachesFullCompleteness(t *testing.T) {
-	fab := testbed(t, 60, 2, DefaultConfig(), nil)
+	fab, rt := testbed(t, 60, 2, DefaultConfig(), nil)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(60 * time.Second)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(60 * time.Second)
 	if len(results) < 20 {
 		t.Fatalf("only %d results", len(results))
 	}
@@ -113,11 +106,11 @@ func TestSumQueryReachesFullCompleteness(t *testing.T) {
 }
 
 func TestResultLatencyBounded(t *testing.T) {
-	fab := testbed(t, 60, 3, DefaultConfig(), nil)
+	fab, rt := testbed(t, 60, 3, DefaultConfig(), nil)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	def := sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(45 * time.Second)
+	def := sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(45 * time.Second)
 	if len(results) == 0 {
 		t.Fatal("no results")
 	}
@@ -131,11 +124,11 @@ func TestResultLatencyBounded(t *testing.T) {
 }
 
 func TestWindowIndicesAdvanceMonotonically(t *testing.T) {
-	fab := testbed(t, 30, 4, DefaultConfig(), nil)
+	fab, rt := testbed(t, 30, 4, DefaultConfig(), nil)
 	var idxs []int64
 	fab.OnResult = func(r Result) { idxs = append(idxs, r.WindowIndex) }
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(30 * time.Second)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(30 * time.Second)
 	for i := 1; i < len(idxs); i++ {
 		if idxs[i] <= idxs[i-1] {
 			t.Fatalf("window indices not strictly increasing: %v", idxs)
@@ -145,11 +138,11 @@ func TestWindowIndicesAdvanceMonotonically(t *testing.T) {
 
 func TestFailureReroutesAroundDeadParents(t *testing.T) {
 	cfg := DefaultConfig()
-	fab := testbed(t, 60, 5, cfg, nil)
+	fab, rt := testbed(t, 60, 5, cfg, nil)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	sumQuery(t, fab, 4, 4)
-	fab.Sim.RunFor(15 * time.Second)
+	sumQuery(t, fab, rt, 4, 4)
+	rt.RunFor(15 * time.Second)
 
 	// Disconnect 20% of non-root peers.
 	rng := rand.New(rand.NewSource(5))
@@ -162,7 +155,7 @@ func TestFailureReroutesAroundDeadParents(t *testing.T) {
 		}
 	}
 	results = nil
-	fab.Sim.RunFor(40 * time.Second)
+	rt.RunFor(40 * time.Second)
 	if len(results) < 10 {
 		t.Fatalf("only %d results during failure", len(results))
 	}
@@ -178,7 +171,7 @@ func TestFailureReroutesAroundDeadParents(t *testing.T) {
 		fab.SetDown(v, false)
 	}
 	results = nil
-	fab.Sim.RunFor(40 * time.Second)
+	rt.RunFor(40 * time.Second)
 	tail = results[len(results)-3:]
 	for _, r := range tail {
 		if r.Count != 60 {
@@ -188,13 +181,13 @@ func TestFailureReroutesAroundDeadParents(t *testing.T) {
 }
 
 func TestReconciliationInstallsOnRecoveredNodes(t *testing.T) {
-	fab := testbed(t, 40, 6, DefaultConfig(), nil)
+	fab, rt := testbed(t, 40, 6, DefaultConfig(), nil)
 	// Disconnect 10 peers before install.
 	for v := 5; v < 15; v++ {
 		fab.SetDown(v, true)
 	}
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(10 * time.Second)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(10 * time.Second)
 	got := fab.InstalledCount("sum1")
 	if got > 30 {
 		t.Fatalf("installed %d while 10 peers down", got)
@@ -203,7 +196,7 @@ func TestReconciliationInstallsOnRecoveredNodes(t *testing.T) {
 	for v := 5; v < 15; v++ {
 		fab.SetDown(v, false)
 	}
-	fab.Sim.RunFor(60 * time.Second)
+	rt.RunFor(60 * time.Second)
 	if got := fab.InstalledCount("sum1"); got != 40 {
 		t.Fatalf("installed = %d after recovery, want 40", got)
 	}
@@ -213,9 +206,9 @@ func TestReconciliationInstallsOnRecoveredNodes(t *testing.T) {
 }
 
 func TestRemoveEventuallyEverywhere(t *testing.T) {
-	fab := testbed(t, 40, 7, DefaultConfig(), nil)
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(5 * time.Second)
+	fab, rt := testbed(t, 40, 7, DefaultConfig(), nil)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(5 * time.Second)
 	// Disconnect a few peers so they miss the removal multicast.
 	for v := 20; v < 25; v++ {
 		fab.SetDown(v, true)
@@ -223,7 +216,7 @@ func TestRemoveEventuallyEverywhere(t *testing.T) {
 	if err := fab.Remove(0, "sum1", 2); err != nil {
 		t.Fatal(err)
 	}
-	fab.Sim.RunFor(10 * time.Second)
+	rt.RunFor(10 * time.Second)
 	remaining := fab.InstalledCount("sum1")
 	if remaining == 0 {
 		t.Fatal("down peers should still hold the query")
@@ -231,21 +224,21 @@ func TestRemoveEventuallyEverywhere(t *testing.T) {
 	for v := 20; v < 25; v++ {
 		fab.SetDown(v, false)
 	}
-	fab.Sim.RunFor(120 * time.Second)
+	rt.RunFor(120 * time.Second)
 	if got := fab.InstalledCount("sum1"); got != 0 {
 		t.Fatalf("%d peers still hold the removed query", got)
 	}
 }
 
 func TestRemoveRequiresDefinition(t *testing.T) {
-	fab := testbed(t, 10, 8, DefaultConfig(), nil)
+	fab, _ := testbed(t, 10, 8, DefaultConfig(), nil)
 	if err := fab.Remove(3, "nope", 1); err == nil {
 		t.Fatal("remove without definition must fail")
 	}
 }
 
 func TestInstallValidation(t *testing.T) {
-	fab := testbed(t, 10, 9, DefaultConfig(), nil)
+	fab, _ := testbed(t, 10, 9, DefaultConfig(), nil)
 	meta := QueryMeta{
 		Name:   "q",
 		OpName: "sum",
@@ -278,11 +271,11 @@ func TestSynclessToleratesClockOffset(t *testing.T) {
 		clocks[i] = vclock.Clock{Offset: off, Skew: 1}
 	}
 	cfg := DefaultConfig()
-	fab := testbed(t, n, 10, cfg, clocks)
+	fab, rt := testbed(t, n, 10, cfg, clocks)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(45 * time.Second)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(45 * time.Second)
 	if len(results) < 10 {
 		t.Fatalf("only %d results", len(results))
 	}
@@ -305,15 +298,15 @@ func TestTimestampModeSuffersUnderOffset(t *testing.T) {
 	}
 	cfg := DefaultConfig()
 	cfg.Syncless = false
-	fab := testbed(t, n, 11, cfg, clocks)
+	fab, rt := testbed(t, n, 11, cfg, clocks)
 	counts := map[int64]int{}
 	fab.OnResult = func(r Result) {
 		if r.Count > counts[r.WindowIndex] {
 			counts[r.WindowIndex] = r.Count
 		}
 	}
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(45 * time.Second)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(45 * time.Second)
 	// With +-300s offsets and 1s windows, data lands in wildly wrong
 	// windows: no window near the true range should see full completeness.
 	full := 0
@@ -328,7 +321,7 @@ func TestTimestampModeSuffersUnderOffset(t *testing.T) {
 }
 
 func TestScopedQueryOnlyInvolvesMembers(t *testing.T) {
-	fab := testbed(t, 30, 12, DefaultConfig(), nil)
+	fab, rt := testbed(t, 30, 12, DefaultConfig(), nil)
 	members := []int{0, 3, 4, 9, 12, 17, 21, 25}
 	meta := QueryMeta{
 		Name:      "scoped",
@@ -336,7 +329,7 @@ func TestScopedQueryOnlyInvolvesMembers(t *testing.T) {
 		OpName:    "count",
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, err := fab.Compile(meta, members, uniformCoords(len(members), 3), 3, 2)
 	if err != nil {
@@ -348,11 +341,11 @@ func TestScopedQueryOnlyInvolvesMembers(t *testing.T) {
 	var last Result
 	fab.OnResult = func(r Result) { last = r }
 	for _, m := range members {
-		startSensor(fab, m)
+		startSensor(fab, rt, m)
 	}
 	// Non-members also produce data; it must not leak into the query.
-	startSensor(fab, 5)
-	fab.Sim.RunFor(30 * time.Second)
+	startSensor(fab, rt, 5)
+	rt.RunFor(30 * time.Second)
 	if got := fab.InstalledCount("scoped"); got != len(members) {
 		t.Fatalf("installed on %d peers, want %d", got, len(members))
 	}
@@ -362,7 +355,7 @@ func TestScopedQueryOnlyInvolvesMembers(t *testing.T) {
 }
 
 func TestFilterKeySelectsTuples(t *testing.T) {
-	fab := testbed(t, 12, 13, DefaultConfig(), nil)
+	fab, rt := testbed(t, 12, 13, DefaultConfig(), nil)
 	meta := QueryMeta{
 		Name:      "sel",
 		Seq:       1,
@@ -370,7 +363,7 @@ func TestFilterKeySelectsTuples(t *testing.T) {
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 		FilterKey: "wanted",
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, err := fab.Compile(meta, nil, uniformCoords(12, 2), 3, 2)
 	if err != nil {
@@ -388,21 +381,21 @@ func TestFilterKeySelectsTuples(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		i := i
 		phase := time.Duration(137*(i+1)%997) * time.Millisecond
-		fab.Sim.After(phase, func() {
-			fab.Sim.Every(time.Second, func() {
+		rt.After(phase, func() {
+			rt.Every(time.Second, func() {
 				fab.Inject(i, tuple.Raw{Key: "wanted", Vals: []float64{1}})
 				fab.Inject(i, tuple.Raw{Key: "other", Vals: []float64{1}})
 			})
 		})
 	}
-	fab.Sim.RunFor(20 * time.Second)
+	rt.RunFor(20 * time.Second)
 	if last.Value == nil || last.Value.(float64) != 12 {
 		t.Fatalf("filtered count = %v, want 12", last.Value)
 	}
 }
 
 func TestBoundaryTuplesKeepCompletenessDuringStalls(t *testing.T) {
-	fab := testbed(t, 12, 14, DefaultConfig(), nil)
+	fab, rt := testbed(t, 12, 14, DefaultConfig(), nil)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
 	meta := QueryMeta{
@@ -411,7 +404,7 @@ func TestBoundaryTuplesKeepCompletenessDuringStalls(t *testing.T) {
 		OpName:    "sum",
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, _ := fab.Compile(meta, nil, uniformCoords(12, 4), 3, 2)
 	if err := fab.Install(0, def); err != nil {
@@ -422,16 +415,16 @@ func TestBoundaryTuplesKeepCompletenessDuringStalls(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		i := i
 		phase := time.Duration(137*(i+1)%997) * time.Millisecond
-		fab.Sim.After(phase, func() {
-			fab.Sim.Every(time.Second, func() {
-				if i == 1 && fab.Sim.Now() > 10*time.Second {
+		rt.After(phase, func() {
+			rt.Every(time.Second, func() {
+				if i == 1 && rt.Now() > 10*time.Second {
 					return
 				}
 				fab.Inject(i, tuple.Raw{Vals: []float64{1}})
 			})
 		})
 	}
-	fab.Sim.RunFor(30 * time.Second)
+	rt.RunFor(30 * time.Second)
 	tail := results[len(results)-3:]
 	for _, r := range tail {
 		if r.Value.(float64) != 11 {
@@ -444,20 +437,20 @@ func TestBoundaryTuplesKeepCompletenessDuringStalls(t *testing.T) {
 }
 
 func TestStatsAccumulate(t *testing.T) {
-	fab := testbed(t, 30, 15, DefaultConfig(), nil)
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(20 * time.Second)
-	if fab.Stats.ResultsReported == 0 {
+	fab, rt := testbed(t, 30, 15, DefaultConfig(), nil)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(20 * time.Second)
+	if fab.Stats.ResultsReported.Load() == 0 {
 		t.Fatal("no results counted")
 	}
 }
 
 func TestHeartbeatTrafficIsAccounted(t *testing.T) {
-	fab := testbed(t, 30, 16, DefaultConfig(), nil)
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(30 * time.Second)
-	ctl := fab.Net.Accounting().TotalBytes(netem.ClassControl)
-	data := fab.Net.Accounting().TotalBytes(netem.ClassData)
+	fab, rt := testbed(t, 30, 16, DefaultConfig(), nil)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(30 * time.Second)
+	ctl := rt.ControlBytes()
+	data := rt.DataBytes()
 	if ctl == 0 || data == 0 {
 		t.Fatalf("traffic accounting: control %d data %d", ctl, data)
 	}

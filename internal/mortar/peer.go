@@ -5,25 +5,27 @@ import (
 	"sort"
 	"time"
 
-	"repro/internal/netem"
+	"repro/internal/runtime"
 	"repro/internal/vclock"
 )
 
 // Peer is one Mortar process: a single-threaded event-driven actor hosting
-// query operators. All its methods run from simulator callbacks.
+// query operators. All its methods run inside the peer's runtime
+// serialization domain — simulator callbacks under simrt, the peer's own
+// goroutine under livert.
 type Peer struct {
 	fab   *Fabric
 	id    int
-	host  netem.NodeID
-	clock vclock.Clock
+	rtc   runtime.Clock // scheduling clock (true runtime time)
+	clock vclock.Clock  // clock model layered on top (offset + skew)
 
 	insts   map[string]*instance
 	removed map[string]uint64 // cached query removals: name -> seq
 
-	// Liveness: sim time we last heard anything from a neighbor.
+	// Liveness: runtime time we last heard anything from a neighbor.
 	lastHeard map[int]time.Duration
 	beat      uint64
-	hbTicker  stoppable
+	hbTicker  runtime.Ticker
 
 	// Duplicate suppression (§4.3 requires the transport to suppress
 	// duplicates): highest seq seen per sender for heartbeats.
@@ -34,13 +36,11 @@ type Peer struct {
 	pendingTopo map[string]bool
 }
 
-type stoppable interface{ Stop() }
-
-func newPeer(f *Fabric, id int, host netem.NodeID, ck vclock.Clock) *Peer {
+func newPeer(f *Fabric, id int, rtc runtime.Clock, ck vclock.Clock) *Peer {
 	p := &Peer{
 		fab:         f,
 		id:          id,
-		host:        host,
+		rtc:         rtc,
 		clock:       ck,
 		insts:       make(map[string]*instance),
 		removed:     make(map[string]uint64),
@@ -57,12 +57,15 @@ func (p *Peer) ID() int { return p.id }
 // Clock returns the peer's local clock model.
 func (p *Peer) Clock() vclock.Clock { return p.clock }
 
-// localNow is the node's reported wall-clock time (offset + skew applied).
-func (p *Peer) localNow() time.Duration { return p.clock.Reported(p.fab.Sim.Now()) }
+// now is the peer's true runtime time.
+func (p *Peer) now() time.Duration { return p.rtc.Now() }
 
-// simDelayForLocal converts a local-clock duration into simulator time
+// localNow is the node's reported wall-clock time (offset + skew applied).
+func (p *Peer) localNow() time.Duration { return p.clock.Reported(p.now()) }
+
+// runtimeDelayForLocal converts a local-clock duration into runtime time
 // (a fast clock's second passes in less than a true second).
-func (p *Peer) simDelayForLocal(d time.Duration) time.Duration {
+func (p *Peer) runtimeDelayForLocal(d time.Duration) time.Duration {
 	if d <= 0 {
 		return 0
 	}
@@ -77,16 +80,15 @@ func (p *Peer) alive(other int) bool {
 		return false
 	}
 	window := time.Duration(float64(p.fab.Cfg.HeartbeatPeriod) * p.fab.Cfg.LivenessMultiple)
-	return p.fab.Sim.Now()-last < window
+	return p.now()-last < window
 }
 
 // markHeard refreshes a neighbor's liveness.
-func (p *Peer) markHeard(other int) { p.lastHeard[other] = p.fab.Sim.Now() }
+func (p *Peer) markHeard(other int) { p.lastHeard[other] = p.now() }
 
-// deliver is the netem handler: dispatch by message type.
-func (p *Peer) deliver(from netem.NodeID, payload any, size int) {
-	src, ok := p.fab.peerOf[from]
-	if !ok {
+// deliver is the transport handler: dispatch by message type.
+func (p *Peer) deliver(src int, payload any, size int) {
+	if src < 0 || src >= p.fab.NumPeers() {
 		return
 	}
 	switch m := payload.(type) {
@@ -110,6 +112,16 @@ func (p *Peer) deliver(from netem.NodeID, payload any, size int) {
 	case msgTopoReply:
 		p.handleTopoReply(src, m)
 	}
+	// A peer hosting nothing has no ticker to ride for periodic pruning;
+	// drop liveness state stragglers re-add so an idle peer holds no
+	// per-neighbor memory. Heartbeat dedup seqs are deliberately kept: a
+	// stale parent may still be heartbeating, and wiping its seq here
+	// would re-accept every duplicate the transport injects. The residue
+	// is bounded by the ex-parent count and cleared by the next install's
+	// reconciliation-beat prune.
+	if len(p.insts) == 0 && len(p.lastHeard) > 0 {
+		clear(p.lastHeard)
+	}
 }
 
 // --- Heartbeats (§3.3) ---
@@ -120,7 +132,7 @@ func (p *Peer) ensureHeartbeats() {
 	if p.hbTicker != nil {
 		return
 	}
-	p.hbTicker = p.fab.Sim.Every(p.fab.Cfg.HeartbeatPeriod, p.sendHeartbeats)
+	p.hbTicker = p.rtc.Every(p.fab.Cfg.HeartbeatPeriod, p.sendHeartbeats)
 }
 
 // uniqueChildren returns the distinct peers this node parents in any tree
@@ -175,13 +187,16 @@ func (p *Peer) sendHeartbeats() {
 	withHash := p.fab.Cfg.ReconcileEveryBeats > 0 && p.beat%uint64(p.fab.Cfg.ReconcileEveryBeats) == 0
 	if withHash {
 		p.retryPendingTopo()
+		// Ride the reconciliation beat to drop state for ex-neighbors that
+		// in-flight traffic re-added after an unwire or removal.
+		p.pruneNeighborState()
 	}
 	for _, c := range p.uniqueChildren() {
 		hb := msgHeartbeat{Seq: p.hbSeqOut}
 		if withHash {
 			hb.Hash = p.pairHashAsParent(c)
 		}
-		p.fab.send(p.id, c, netem.ClassControl, hb)
+		p.fab.send(p.id, c, runtime.ClassControl, hb)
 	}
 	if withHash {
 		// Probe silent parents with our summary so a recovered parent that
@@ -189,7 +204,7 @@ func (p *Peer) sendHeartbeats() {
 		// both directions; child-to-parent comparisons ride the data flow).
 		for _, pa := range p.uniqueParents() {
 			if !p.alive(pa) {
-				p.fab.send(p.id, pa, netem.ClassControl, p.reconSummary())
+				p.fab.send(p.id, pa, runtime.ClassControl, p.reconSummary())
 			}
 		}
 	}
@@ -257,6 +272,69 @@ func (p *Peer) handleHeartbeat(src int, m msgHeartbeat) {
 	p.hbSeqSeen[src] = m.Seq
 	p.markHeard(src)
 	if m.Hash != 0 && m.Hash != p.pairHashAsChild(src) {
-		p.fab.send(p.id, src, netem.ClassControl, p.reconSummary())
+		p.fab.send(p.id, src, runtime.ClassControl, p.reconSummary())
 	}
 }
+
+// pruneNeighborState drops liveness and duplicate-suppression entries for
+// peers that are no longer neighbors in any wired query. Without this the
+// lastHeard and hbSeqSeen maps grow without bound under query and
+// membership churn — harmless in a bounded simulation, a leak in a
+// long-lived live process. When no neighbors remain at all the heartbeat
+// ticker is stopped too (ensureHeartbeats restarts it on the next
+// install).
+func (p *Peer) pruneNeighborState() {
+	active := map[int]struct{}{}
+	for _, inst := range p.insts {
+		if !inst.wired {
+			continue
+		}
+		for _, pa := range inst.nb.Parents {
+			if pa >= 0 {
+				active[pa] = struct{}{}
+			}
+		}
+		for _, kids := range inst.nb.Children {
+			for _, c := range kids {
+				active[c] = struct{}{}
+			}
+		}
+	}
+	// Dedup seqs go first, consulting lastHeard before it is pruned: an
+	// ex-neighbor that is still heartbeating (heard within the liveness
+	// window) keeps its seq, so the duplicates of its in-flight beats stay
+	// suppressed until reconciliation makes it stop.
+	window := time.Duration(float64(p.fab.Cfg.HeartbeatPeriod) * p.fab.Cfg.LivenessMultiple)
+	for o := range p.hbSeqSeen {
+		if _, ok := active[o]; ok {
+			continue
+		}
+		if last, ok := p.lastHeard[o]; ok && p.now()-last < window {
+			continue
+		}
+		delete(p.hbSeqSeen, o)
+	}
+	for o := range p.lastHeard {
+		if _, ok := active[o]; !ok {
+			delete(p.lastHeard, o)
+		}
+	}
+	// With no neighbors, no instances, and no pending topology fetches the
+	// ticker serves nothing; stop it (ensureHeartbeats restarts it on the
+	// next install). Unwired instances keep it alive: the reconciliation
+	// beat drives their topology-request retries.
+	if len(active) == 0 && len(p.insts) == 0 && len(p.pendingTopo) == 0 && p.hbTicker != nil {
+		p.hbTicker.Stop()
+		p.hbTicker = nil
+	}
+}
+
+// NeighborStateSize reports the number of liveness and duplicate-
+// suppression entries currently held — an introspection hook for leak
+// tests and operational debugging. Quiescent-only, like InstalledCount.
+func (p *Peer) NeighborStateSize() int { return len(p.lastHeard) + len(p.hbSeqSeen) }
+
+// LivenessEntries reports only the liveness entries; after a query's
+// removal these drain to zero while a bounded heartbeat-dedup residue may
+// remain in NeighborStateSize. Quiescent-only.
+func (p *Peer) LivenessEntries() int { return len(p.lastHeard) }

@@ -6,10 +6,11 @@
 // syncless age-based indexing (§5), shared heartbeats, and pair-wise
 // reconciliation for eventually consistent query installation (§6).
 //
-// Peers run as single-threaded event-driven actors over an eventsim-driven
-// netem network, mirroring the prototype's SEDA design. The same Fabric can
-// be driven in accelerated virtual time (experiments) or paced to the wall
-// clock (examples).
+// Peers are single-threaded event-driven actors, mirroring the prototype's
+// SEDA design, written against the internal/runtime interfaces: the same
+// Fabric runs inside the deterministic simulator backend (runtime/simrt,
+// used by the figure experiments) or with one goroutine per peer over a
+// concurrent in-process transport (runtime/livert).
 package mortar
 
 import (

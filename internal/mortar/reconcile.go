@@ -3,7 +3,7 @@ package mortar
 import (
 	"fmt"
 
-	"repro/internal/netem"
+	"repro/internal/runtime"
 )
 
 // This file implements query persistence (§6): the chunked install/remove
@@ -109,11 +109,11 @@ func (p *Peer) startInstall(def *QueryDef) {
 		if c.head == p.id {
 			// Forward our own chunk's children directly.
 			for _, next := range c.forward[p.id] {
-				p.fab.send(p.id, next, netem.ClassControl, subChunk(m, next))
+				p.fab.send(p.id, next, runtime.ClassControl, subChunk(m, next))
 			}
 			continue
 		}
-		p.fab.send(p.id, c.head, netem.ClassControl, m)
+		p.fab.send(p.id, c.head, runtime.ClassControl, m)
 	}
 }
 
@@ -123,6 +123,7 @@ func (p *Peer) installLocal(meta QueryMeta, nb *neighbors, def *QueryDef) {
 	if seq, ok := p.removed[meta.Name]; ok && seq >= meta.Seq {
 		return // removal supersedes this install
 	}
+	replaced := false
 	if old, ok := p.insts[meta.Name]; ok {
 		if old.meta.Seq >= meta.Seq {
 			if nb != nil && !old.wired {
@@ -132,18 +133,27 @@ func (p *Peer) installLocal(meta QueryMeta, nb *neighbors, def *QueryDef) {
 		}
 		old.stop()
 		delete(p.insts, meta.Name)
+		replaced = true
 	}
 	inst, err := p.newInstance(meta)
 	if err != nil {
+		if replaced {
+			p.pruneNeighborState()
+		}
 		return // unknown operator on this peer; reconciliation may retry
 	}
 	inst.def = def
 	p.insts[meta.Name] = inst
 	if nb != nil {
 		inst.wire(*nb)
+		if replaced {
+			// The superseded instance's tree positions are gone; any
+			// neighbors not shared with the new wiring are stale.
+			p.pruneNeighborState()
+		}
 	} else {
 		p.pendingTopo[meta.Name] = true
-		p.fab.send(p.id, meta.Root, netem.ClassControl, msgTopoRequest{Query: meta.Name, Peer: p.id})
+		p.fab.send(p.id, meta.Root, runtime.ClassControl, msgTopoRequest{Query: meta.Name, Peer: p.id})
 	}
 	p.ensureHeartbeats()
 	inst.start()
@@ -176,7 +186,7 @@ func (p *Peer) handleInstall(src int, m msgInstall) {
 		p.installLocal(m.Meta, &nb, nil)
 	}
 	for _, next := range m.Forward[p.id] {
-		p.fab.send(p.id, next, netem.ClassControl, subChunk(m, next))
+		p.fab.send(p.id, next, runtime.ClassControl, subChunk(m, next))
 	}
 }
 
@@ -192,11 +202,11 @@ func (p *Peer) startRemove(name string, seq uint64) error {
 		m := msgRemove{Name: name, Seq: seq, Forward: c.forward}
 		if c.head == p.id {
 			for _, next := range c.forward[p.id] {
-				p.fab.send(p.id, next, netem.ClassControl, m)
+				p.fab.send(p.id, next, runtime.ClassControl, m)
 			}
 			continue
 		}
-		p.fab.send(p.id, c.head, netem.ClassControl, m)
+		p.fab.send(p.id, c.head, runtime.ClassControl, m)
 	}
 	return nil
 }
@@ -209,6 +219,9 @@ func (p *Peer) removeLocal(name string, seq uint64) {
 	if inst, ok := p.insts[name]; ok && inst.meta.Seq < seq {
 		inst.stop()
 		delete(p.insts, name)
+		// The removed query's tree edges may have been the only reason we
+		// tracked some neighbors; drop their liveness and dedup state.
+		p.pruneNeighborState()
 	}
 	delete(p.pendingTopo, name)
 }
@@ -217,7 +230,7 @@ func (p *Peer) handleRemove(src int, m msgRemove) {
 	p.markHeard(src)
 	p.removeLocal(m.Name, m.Seq)
 	for _, next := range m.Forward[p.id] {
-		p.fab.send(p.id, next, netem.ClassControl, m)
+		p.fab.send(p.id, next, runtime.ClassControl, m)
 	}
 }
 
@@ -274,7 +287,7 @@ func (p *Peer) handleReconSummary(src int, m msgReconSummary) {
 		}
 	}
 	if len(reply.Metas) > 0 || len(reply.Removed) > 0 {
-		p.fab.send(p.id, src, netem.ClassControl, reply)
+		p.fab.send(p.id, src, runtime.ClassControl, reply)
 	}
 }
 
@@ -299,7 +312,7 @@ func (p *Peer) handleReconDefs(src int, m msgReconDefs) {
 // parent/child sets per tree, "acting as a topology server".
 func (p *Peer) handleTopoRequest(src int, m msgTopoRequest) {
 	if seq, ok := p.removed[m.Query]; ok {
-		p.fab.send(p.id, src, netem.ClassControl, msgTopoReply{Query: m.Query, Seq: seq, Unknown: true})
+		p.fab.send(p.id, src, runtime.ClassControl, msgTopoReply{Query: m.Query, Seq: seq, Unknown: true})
 		return
 	}
 	inst, ok := p.insts[m.Query]
@@ -308,10 +321,10 @@ func (p *Peer) handleTopoRequest(src int, m msgTopoRequest) {
 	}
 	mi := inst.def.memberIndex(m.Peer)
 	if mi < 0 {
-		p.fab.send(p.id, src, netem.ClassControl, msgTopoReply{Query: m.Query, Seq: inst.meta.Seq, Unknown: true})
+		p.fab.send(p.id, src, runtime.ClassControl, msgTopoReply{Query: m.Query, Seq: inst.meta.Seq, Unknown: true})
 		return
 	}
-	p.fab.send(p.id, src, netem.ClassControl, msgTopoReply{
+	p.fab.send(p.id, src, runtime.ClassControl, msgTopoReply{
 		Query: m.Query,
 		Seq:   inst.meta.Seq,
 		NB:    neighborsFor(inst.def, mi),
@@ -337,7 +350,7 @@ func (p *Peer) handleTopoReply(src int, m msgTopoReply) {
 func (p *Peer) retryPendingTopo() {
 	for name := range p.pendingTopo {
 		if inst, ok := p.insts[name]; ok && !inst.wired {
-			p.fab.send(p.id, inst.meta.Root, netem.ClassControl, msgTopoRequest{Query: name, Peer: p.id})
+			p.fab.send(p.id, inst.meta.Root, runtime.ClassControl, msgTopoRequest{Query: name, Peer: p.id})
 		}
 	}
 }

@@ -1,43 +1,34 @@
 package mortar
 
 import (
-	"math/rand"
 	"testing"
 	"time"
 
-	"repro/internal/eventsim"
-	"repro/internal/netem"
+	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
 )
 
 // lossyTestbed builds a fabric whose links drop a fraction of packets —
 // Mortar is best-effort and must degrade gracefully, not wedge.
-func lossyTestbed(t *testing.T, hosts int, loss float64, seed int64) *Fabric {
+func lossyTestbed(t *testing.T, hosts int, loss float64, seed int64) (*Fabric, *simrt.Runtime) {
 	t.Helper()
-	sim := eventsim.New(seed)
-	rng := rand.New(rand.NewSource(seed))
-	p := netem.PaperTopology(hosts)
-	p.Stubs = 8
-	p.Transits = 2
-	p.Loss = loss
-	topo := netem.GenerateTransitStub(p, rng)
-	net := netem.New(sim, topo)
-	fab, err := NewFabric(net, nil, DefaultConfig())
+	rt := simrt.NewPaper(seed, hosts, simrt.TopoOptions{Stubs: 8, Transits: 2, Loss: loss})
+	fab, err := NewFabric(rt, nil, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return fab
+	return fab, rt
 }
 
 func TestLossyNetworkDegradesGracefully(t *testing.T) {
 	// 1% per-link loss compounds over ~10-link physical paths per overlay
 	// hop; best-effort Mortar must keep reporting with degraded
 	// completeness, never wedge.
-	fab := lossyTestbed(t, 40, 0.01, 31)
+	fab, rt := lossyTestbed(t, 40, 0.01, 31)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	sumQuery(t, fab, 4, 4)
-	fab.Sim.RunFor(60 * time.Second)
+	sumQuery(t, fab, rt, 4, 4)
+	rt.RunFor(60 * time.Second)
 	if len(results) < 30 {
 		t.Fatalf("only %d results under 1%% loss", len(results))
 	}
@@ -52,7 +43,7 @@ func TestLossyNetworkDegradesGracefully(t *testing.T) {
 }
 
 func TestConcurrentQueriesShareHeartbeats(t *testing.T) {
-	fab := testbed(t, 40, 32, DefaultConfig(), nil)
+	fab, rt := testbed(t, 40, 32, DefaultConfig(), nil)
 	counts := map[string]int{}
 	fab.OnResult = func(r Result) {
 		if r.Count == 40 {
@@ -67,7 +58,7 @@ func TestConcurrentQueriesShareHeartbeats(t *testing.T) {
 			OpName:    op,
 			Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 			Root:      0,
-			IssuedSim: fab.Sim.Now(),
+			IssuedSim: rt.Now(),
 		}
 		def, err := fab.Compile(meta, nil, coords, 8, 2)
 		if err != nil {
@@ -78,9 +69,9 @@ func TestConcurrentQueriesShareHeartbeats(t *testing.T) {
 		}
 	}
 	for i := 0; i < 40; i++ {
-		startSensor(fab, i)
+		startSensor(fab, rt, i)
 	}
-	fab.Sim.RunFor(40 * time.Second)
+	rt.RunFor(40 * time.Second)
 	for _, op := range []string{"sum-q", "max-q", "avg-q"} {
 		if counts[op] < 10 {
 			t.Fatalf("query %s reached full completeness only %d times", op, counts[op])
@@ -88,24 +79,24 @@ func TestConcurrentQueriesShareHeartbeats(t *testing.T) {
 	}
 	// Heartbeat traffic must be shared: with 3 queries over similar trees,
 	// control bytes should be well under 3x a single query's.
-	ctl3 := fab.Net.Accounting().TotalBytes(netem.ClassControl)
+	ctl3 := rt.ControlBytes()
 
-	fab1 := testbed(t, 40, 32, DefaultConfig(), nil)
+	fab1, rt1 := testbed(t, 40, 32, DefaultConfig(), nil)
 	meta := QueryMeta{
 		Name: "solo", Seq: 1, OpName: "sum",
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 		Root:      0,
-		IssuedSim: fab1.Sim.Now(),
+		IssuedSim: rt1.Now(),
 	}
 	def, _ := fab1.Compile(meta, nil, coords, 8, 2)
 	if err := fab1.Install(0, def); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 40; i++ {
-		startSensor(fab1, i)
+		startSensor(fab1, rt1, i)
 	}
-	fab1.Sim.RunFor(40 * time.Second)
-	ctl1 := fab1.Net.Accounting().TotalBytes(netem.ClassControl)
+	rt1.RunFor(40 * time.Second)
+	ctl1 := rt1.ControlBytes()
 	// Trees planned over the same coordinates are similar but not
 	// identical (k-means seeding is randomized), so sharing is partial:
 	// well under 3x, not 1x.
@@ -115,14 +106,14 @@ func TestConcurrentQueriesShareHeartbeats(t *testing.T) {
 }
 
 func TestReinstallHigherSeqReplaces(t *testing.T) {
-	fab := testbed(t, 20, 33, DefaultConfig(), nil)
+	fab, rt := testbed(t, 20, 33, DefaultConfig(), nil)
 	coords := uniformCoords(20, 9)
 	mk := func(seq uint64, op string) *QueryDef {
 		meta := QueryMeta{
 			Name: "q", Seq: seq, OpName: op,
 			Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 			Root:      0,
-			IssuedSim: fab.Sim.Now(),
+			IssuedSim: rt.Now(),
 		}
 		def, err := fab.Compile(meta, nil, coords, 4, 2)
 		if err != nil {
@@ -133,12 +124,12 @@ func TestReinstallHigherSeqReplaces(t *testing.T) {
 	if err := fab.Install(0, mk(1, "sum")); err != nil {
 		t.Fatal(err)
 	}
-	fab.Sim.RunFor(5 * time.Second)
+	rt.RunFor(5 * time.Second)
 	// Re-issue the query under the same name with a higher sequence.
 	if err := fab.Install(0, mk(3, "max")); err != nil {
 		t.Fatal(err)
 	}
-	fab.Sim.RunFor(10 * time.Second)
+	rt.RunFor(10 * time.Second)
 	replaced := 0
 	for i := 0; i < 20; i++ {
 		if inst, ok := fab.Peer(i).insts["q"]; ok && inst.meta.Seq == 3 {
@@ -156,23 +147,23 @@ func TestReinstallHigherSeqReplaces(t *testing.T) {
 }
 
 func TestRemoveSupersedesLaterLowSeqInstall(t *testing.T) {
-	fab := testbed(t, 20, 34, DefaultConfig(), nil)
+	fab, rt := testbed(t, 20, 34, DefaultConfig(), nil)
 	coords := uniformCoords(20, 9)
 	meta := QueryMeta{
 		Name: "q", Seq: 1, OpName: "sum",
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, _ := fab.Compile(meta, nil, coords, 4, 2)
 	if err := fab.Install(0, def); err != nil {
 		t.Fatal(err)
 	}
-	fab.Sim.RunFor(3 * time.Second)
+	rt.RunFor(3 * time.Second)
 	if err := fab.Remove(0, "q", 2); err != nil {
 		t.Fatal(err)
 	}
-	fab.Sim.RunFor(5 * time.Second)
+	rt.RunFor(5 * time.Second)
 	// The cached removal (seq 2) must beat a replayed install (seq 1).
 	fab.Peer(7).installLocal(meta, nil, nil)
 	if _, ok := fab.Peer(7).insts["q"]; ok {
@@ -184,11 +175,11 @@ func TestRemoveSupersedesLaterLowSeqInstall(t *testing.T) {
 }
 
 func TestResultAgesArePlausible(t *testing.T) {
-	fab := testbed(t, 30, 35, DefaultConfig(), nil)
+	fab, rt := testbed(t, 30, 35, DefaultConfig(), nil)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	sumQuery(t, fab, 4, 2)
-	fab.Sim.RunFor(40 * time.Second)
+	sumQuery(t, fab, rt, 4, 2)
+	rt.RunFor(40 * time.Second)
 	for _, r := range results[5:] {
 		if r.Age <= 0 || r.Age > 15*time.Second {
 			t.Fatalf("result age %v implausible", r.Age)

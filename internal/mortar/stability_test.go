@@ -14,7 +14,7 @@ import (
 // relay stragglers without folding them into netDist; this test pins the
 // converged behaviour.
 func TestLongRunLatencyStable(t *testing.T) {
-	fab := testbed(t, 12, 2, DefaultConfig(), nil)
+	fab, rt := testbed(t, 12, 2, DefaultConfig(), nil)
 	type sample struct {
 		win int64
 		age time.Duration
@@ -28,7 +28,7 @@ func TestLongRunLatencyStable(t *testing.T) {
 		Name: "stab", Seq: 1, OpName: "sum",
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, err := fab.Compile(meta, nil, uniformCoords(12, 7), 3, 2)
 	if err != nil {
@@ -38,9 +38,9 @@ func TestLongRunLatencyStable(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 12; i++ {
-		startSensor(fab, i)
+		startSensor(fab, rt, i)
 	}
-	fab.Sim.RunFor(300 * time.Second)
+	rt.RunFor(300 * time.Second)
 
 	if len(samples) < 280 {
 		t.Fatalf("only %d results in 300s", len(samples))

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
@@ -11,7 +12,7 @@ import (
 // tupleWinQuery installs a tuple-window query: the topk of the last RangeN
 // tuples from each source, sliding every SlideN tuples (§4.1: "Mortar's
 // query operators process the last n tuples from each source").
-func tupleWinQuery(t *testing.T, fab *Fabric, rangeN, slideN int) {
+func tupleWinQuery(t *testing.T, fab *Fabric, rt *simrt.Runtime, rangeN, slideN int) {
 	t.Helper()
 	meta := QueryMeta{
 		Name:      "tw",
@@ -19,7 +20,7 @@ func tupleWinQuery(t *testing.T, fab *Fabric, rangeN, slideN int) {
 		OpName:    "max",
 		Window:    tuple.WindowSpec{Kind: tuple.TupleWindow, RangeN: rangeN, SlideN: slideN},
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, err := fab.Compile(meta, nil, uniformCoords(fab.NumPeers(), 7), 4, 2)
 	if err != nil {
@@ -31,23 +32,23 @@ func tupleWinQuery(t *testing.T, fab *Fabric, rangeN, slideN int) {
 }
 
 func TestTupleWindowEmitsPerSlideCount(t *testing.T) {
-	fab := testbed(t, 12, 21, DefaultConfig(), nil)
+	fab, rt := testbed(t, 12, 21, DefaultConfig(), nil)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	tupleWinQuery(t, fab, 4, 4)
+	tupleWinQuery(t, fab, rt, 4, 4)
 	// Each peer emits one tuple per second with increasing values.
 	for i := 0; i < 12; i++ {
 		i := i
 		n := 0
 		phase := time.Duration(137*(i+1)%997) * time.Millisecond
-		fab.Sim.After(phase, func() {
-			fab.Sim.Every(time.Second, func() {
+		rt.After(phase, func() {
+			rt.Every(time.Second, func() {
 				n++
 				fab.Inject(i, tuple.Raw{Vals: []float64{float64(n)}})
 			})
 		})
 	}
-	fab.Sim.RunFor(30 * time.Second)
+	rt.RunFor(30 * time.Second)
 	if len(results) == 0 {
 		t.Fatal("no tuple-window results")
 	}
@@ -70,20 +71,20 @@ func TestTupleWindowEmitsPerSlideCount(t *testing.T) {
 }
 
 func TestTupleWindowIntervalsValid(t *testing.T) {
-	fab := testbed(t, 8, 22, DefaultConfig(), nil)
+	fab, rt := testbed(t, 8, 22, DefaultConfig(), nil)
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	tupleWinQuery(t, fab, 6, 3)
+	tupleWinQuery(t, fab, rt, 6, 3)
 	for i := 0; i < 8; i++ {
 		i := i
 		phase := time.Duration(211*(i+1)%997) * time.Millisecond
-		fab.Sim.After(phase, func() {
-			fab.Sim.Every(500*time.Millisecond, func() {
+		rt.After(phase, func() {
+			rt.Every(500*time.Millisecond, func() {
 				fab.Inject(i, tuple.Raw{Vals: []float64{1}})
 			})
 		})
 	}
-	fab.Sim.RunFor(20 * time.Second)
+	rt.RunFor(20 * time.Second)
 	for _, r := range results {
 		if r.Index.Empty() {
 			t.Fatalf("empty validity interval in result %+v", r)
@@ -98,19 +99,19 @@ func TestTupleWindowIntervalsValid(t *testing.T) {
 }
 
 func TestTupleWindowStallBoundaryExtends(t *testing.T) {
-	fab := testbed(t, 4, 23, DefaultConfig(), nil)
-	tupleWinQuery(t, fab, 2, 2)
+	fab, rt := testbed(t, 4, 23, DefaultConfig(), nil)
+	tupleWinQuery(t, fab, rt, 2, 2)
 	// Only peer 1 produces data, then stalls; boundary tuples must keep
 	// the pipeline alive without fabricating values.
 	for k := 0; k < 4; k++ {
 		k := k
-		fab.Sim.After(time.Duration(k)*time.Second, func() {
+		rt.After(time.Duration(k)*time.Second, func() {
 			fab.Inject(1, tuple.Raw{Vals: []float64{float64(k)}})
 		})
 	}
 	var results []Result
 	fab.OnResult = func(r Result) { results = append(results, r) }
-	fab.Sim.RunFor(30 * time.Second)
+	rt.RunFor(30 * time.Second)
 	if len(results) == 0 {
 		t.Fatal("no results")
 	}
@@ -124,7 +125,7 @@ func TestTupleWindowStallBoundaryExtends(t *testing.T) {
 // The Wi-Fi scenario's natural form: a tuple window over the last frames
 // per sniffer rather than a time window.
 func TestTupleWindowTopK(t *testing.T) {
-	fab := testbed(t, 6, 24, DefaultConfig(), nil)
+	fab, rt := testbed(t, 6, 24, DefaultConfig(), nil)
 	meta := QueryMeta{
 		Name:      "twk",
 		Seq:       1,
@@ -132,7 +133,7 @@ func TestTupleWindowTopK(t *testing.T) {
 		OpArgs:    []string{"2", "0"},
 		Window:    tuple.WindowSpec{Kind: tuple.TupleWindow, RangeN: 3, SlideN: 3},
 		Root:      0,
-		IssuedSim: fab.Sim.Now(),
+		IssuedSim: rt.Now(),
 	}
 	def, err := fab.Compile(meta, nil, uniformCoords(6, 3), 3, 2)
 	if err != nil {
@@ -150,13 +151,13 @@ func TestTupleWindowTopK(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		i := i
 		phase := time.Duration(93*(i+1)) * time.Millisecond
-		fab.Sim.After(phase, func() {
-			fab.Sim.Every(time.Second, func() {
+		rt.After(phase, func() {
+			rt.Every(time.Second, func() {
 				fab.Inject(i, tuple.Raw{Key: "s" + string(rune('a'+i)), Vals: []float64{float64(10 * i)}})
 			})
 		})
 	}
-	fab.Sim.RunFor(25 * time.Second)
+	rt.RunFor(25 * time.Second)
 	if len(got) == 0 {
 		t.Fatal("no topk results")
 	}

@@ -1,0 +1,417 @@
+// Package livert is the real-concurrency runtime backend: each peer is a
+// goroutine draining an unbounded mailbox, timers fire on the wall clock,
+// and an in-process transport injects configurable latency, loss, and
+// control-plane duplication. Everything a peer does — message handling,
+// timer callbacks, externally Exec'd work — funnels through its mailbox, so
+// peer code keeps the single-threaded semantics it was written for while
+// the federation as a whole runs genuinely parallel. The package is safe
+// under the race detector by construction: cross-peer communication happens
+// only through mailboxes and atomics.
+package livert
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Options tunes the in-process transport and the runtime's random stream.
+type Options struct {
+	// Seed drives loss, duplication, and per-message delay jitter.
+	Seed int64
+	// MinDelay and MaxDelay bound the uniformly drawn one-way message
+	// delay. Defaults: 200µs .. 2ms.
+	MinDelay, MaxDelay time.Duration
+	// Loss is the probability a message is silently dropped.
+	Loss float64
+	// CtrlDup is the probability a control-plane message is delivered
+	// twice, modelling datagram duplication; the peer protocol must
+	// suppress duplicates (heartbeat sequence numbers) or be idempotent
+	// (install, remove, reconciliation). Data envelopes are never
+	// duplicated, matching a transport that dedups the data plane.
+	CtrlDup float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinDelay <= 0 {
+		o.MinDelay = 200 * time.Microsecond
+	}
+	if o.MaxDelay == 0 {
+		o.MaxDelay = o.MinDelay + 1800*time.Microsecond
+	}
+	if o.MaxDelay < o.MinDelay {
+		panic("livert: MaxDelay < MinDelay")
+	}
+	return o
+}
+
+// Runtime runs n peers on their own goroutines. It implements
+// runtime.Runtime and runtime.Transport.
+type Runtime struct {
+	n     int
+	start time.Time
+	opt   Options
+
+	// Per-sender transport RNGs: sends normally originate from the
+	// sender's own goroutine, so striping the lock by sender keeps the
+	// hot data path from serializing the whole federation on one mutex
+	// while still honouring Send's any-goroutine contract.
+	sendMu []sync.Mutex
+	rngs   []*rand.Rand
+
+	// planRng is a separate stream for Rand(): the driving goroutine's
+	// planning draws must not race with the transport's per-sender
+	// draws on peer goroutines.
+	planRng *rand.Rand
+
+	hmu   sync.RWMutex
+	hands []runtime.Handler
+
+	down  []atomic.Bool
+	boxes []*mailbox
+	wg    sync.WaitGroup
+	// inflight tracks delivery timers not yet resolved; flmu orders Add
+	// against Shutdown's Wait (a bare Add concurrent with a zero-counter
+	// Wait is WaitGroup misuse).
+	flmu     sync.Mutex
+	inflight sync.WaitGroup
+	closed   atomic.Bool
+
+	sent, delivered, dropped, duplicated atomic.Uint64
+}
+
+var _ runtime.Runtime = (*Runtime)(nil)
+var _ runtime.Transport = (*Runtime)(nil)
+
+// New starts a live runtime of n peers. Peer goroutines start immediately
+// and idle until work arrives; register transport handlers before sending.
+func New(n int, opt Options) *Runtime {
+	r := &Runtime{
+		n:      n,
+		start:  time.Now(),
+		opt:    opt.withDefaults(),
+		sendMu: make([]sync.Mutex, n),
+		rngs:   make([]*rand.Rand, n),
+		hands:  make([]runtime.Handler, n),
+		down:   make([]atomic.Bool, n),
+		boxes:  make([]*mailbox, n),
+	}
+	// All streams derive from one seeded source before any goroutine
+	// runs, so the unsynchronized draws here are safe.
+	seeder := rand.New(rand.NewSource(opt.Seed))
+	for i := range r.rngs {
+		r.rngs[i] = rand.New(rand.NewSource(seeder.Int63()))
+	}
+	r.planRng = rand.New(rand.NewSource(seeder.Int63()))
+	for i := range r.boxes {
+		r.boxes[i] = newMailbox()
+		r.wg.Add(1)
+		go func(box *mailbox) {
+			defer r.wg.Done()
+			box.loop()
+		}(r.boxes[i])
+	}
+	return r
+}
+
+// --- runtime.Runtime ---
+
+// NumPeers returns the federation size.
+func (r *Runtime) NumPeers() int { return r.n }
+
+// Clock returns a wall clock whose callbacks run in the peer's mailbox.
+func (r *Runtime) Clock(peer int) runtime.Clock { return liveClock{rt: r, peer: peer} }
+
+// Transport returns the in-process transport.
+func (r *Runtime) Transport() runtime.Transport { return r }
+
+// Rand returns the runtime's planning random source. Unsynchronized:
+// driving goroutine only. It is a stream of its own — the transport's
+// loss/delay draws on peer goroutines never touch it.
+func (r *Runtime) Rand() *rand.Rand { return r.planRng }
+
+// Exec posts fn to the peer's mailbox.
+func (r *Runtime) Exec(peer int, fn func()) bool {
+	if peer < 0 || peer >= r.n {
+		return false
+	}
+	return r.boxes[peer].post(fn)
+}
+
+// Shutdown stops delivery, resolves in-flight messages (bounded by
+// MaxDelay), lets every mailbox drain, and waits for all peer goroutines
+// to exit. Afterwards peer state may be inspected from the caller's
+// goroutine (the joins establish the happens-before edge), and the Stats
+// ledger reconciles: delivered + dropped == sent + duplicated (each
+// injected duplicate adds a second delivery outcome to one send).
+func (r *Runtime) Shutdown() {
+	if r.closed.Swap(true) {
+		return
+	}
+	for _, b := range r.boxes {
+		b.close()
+	}
+	// Barrier: any deliverAfter that won the race against closed has
+	// finished registering with inflight once we can take flmu.
+	r.flmu.Lock()
+	r.flmu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	r.inflight.Wait()
+	r.wg.Wait()
+}
+
+// Stats returns cumulative transport counters: sent, delivered, dropped,
+// and duplicate deliveries injected. After Shutdown the ledger satisfies
+// delivered + dropped == sent + duplicated.
+func (r *Runtime) Stats() (sent, delivered, dropped, duplicated uint64) {
+	return r.sent.Load(), r.delivered.Load(), r.dropped.Load(), r.duplicated.Load()
+}
+
+// --- runtime.Transport ---
+
+// Handle registers a peer's delivery handler.
+func (r *Runtime) Handle(peer int, h runtime.Handler) {
+	r.hmu.Lock()
+	r.hands[peer] = h
+	r.hmu.Unlock()
+}
+
+// SetDown disconnects or reconnects a peer.
+func (r *Runtime) SetDown(peer int, down bool) { r.down[peer].Store(down) }
+
+// Down reports whether a peer is disconnected.
+func (r *Runtime) Down(peer int) bool { return r.down[peer].Load() }
+
+// Latency reports the transport's mean one-way delay, the planner's
+// latency estimate for every pair.
+func (r *Runtime) Latency(a, b int) time.Duration {
+	return (r.opt.MinDelay + r.opt.MaxDelay) / 2
+}
+
+// Send draws loss, duplication, and delay, then schedules delivery into the
+// destination's mailbox. Safe to call from any goroutine.
+func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any) bool {
+	if from == to || from < 0 || from >= r.n || to < 0 || to >= r.n {
+		return false
+	}
+	if r.closed.Load() || r.down[from].Load() {
+		return false
+	}
+	r.sent.Add(1)
+	r.sendMu[from].Lock()
+	rng := r.rngs[from]
+	lost := r.opt.Loss > 0 && rng.Float64() < r.opt.Loss
+	dup := class == runtime.ClassControl && r.opt.CtrlDup > 0 && rng.Float64() < r.opt.CtrlDup
+	span := int64(r.opt.MaxDelay - r.opt.MinDelay)
+	delay := r.opt.MinDelay
+	if span > 0 {
+		delay += time.Duration(rng.Int63n(span + 1))
+	}
+	r.sendMu[from].Unlock()
+	if lost {
+		r.dropped.Add(1)
+		return true
+	}
+	r.deliverAfter(delay, from, to, payload, size)
+	if dup {
+		r.duplicated.Add(1)
+		r.deliverAfter(delay+delay/2, from, to, payload, size)
+	}
+	return true
+}
+
+func (r *Runtime) deliverAfter(delay time.Duration, from, to int, payload any, size int) {
+	r.flmu.Lock()
+	if r.closed.Load() {
+		r.flmu.Unlock()
+		r.dropped.Add(1)
+		return
+	}
+	r.inflight.Add(1)
+	r.flmu.Unlock()
+	time.AfterFunc(delay, func() {
+		defer r.inflight.Done()
+		if r.down[to].Load() {
+			r.dropped.Add(1)
+			return
+		}
+		r.hmu.RLock()
+		h := r.hands[to]
+		r.hmu.RUnlock()
+		if h == nil {
+			r.dropped.Add(1)
+			return
+		}
+		if r.boxes[to].post(func() { h(from, payload, size) }) {
+			r.delivered.Add(1)
+		} else {
+			// Mailbox already closed by Shutdown: the message is lost.
+			r.dropped.Add(1)
+		}
+	})
+}
+
+// --- mailbox: an unbounded FIFO work queue, one goroutine draining it ---
+
+// mailbox is unbounded so that cyclic peer-to-peer sends can never
+// deadlock: posting never blocks, only the draining goroutine runs work.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []func()
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// post enqueues fn; it reports false (dropping fn) after close.
+func (m *mailbox) post(fn func()) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.q = append(m.q, fn)
+	m.cond.Signal()
+	return true
+}
+
+// close stops intake; already queued work still drains.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// loop drains the queue until closed and empty.
+func (m *mailbox) loop() {
+	for {
+		m.mu.Lock()
+		for len(m.q) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.q) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		fn := m.q[0]
+		m.q[0] = nil // release the closure (and its captured payload) now
+		m.q = m.q[1:]
+		m.mu.Unlock()
+		fn()
+	}
+}
+
+// --- clock ---
+
+// liveClock schedules wall-clock callbacks into one peer's mailbox.
+type liveClock struct {
+	rt   *Runtime
+	peer int
+}
+
+func (c liveClock) Now() time.Duration { return time.Since(c.rt.start) }
+
+func (c liveClock) After(d time.Duration, fn func()) runtime.Timer {
+	if d < 0 {
+		d = 0
+	}
+	t := &liveTimer{at: c.Now() + d}
+	t.real = time.AfterFunc(d, func() {
+		c.rt.Exec(c.peer, func() {
+			// Decided inside the peer's domain so Cancel from the same
+			// domain is always honoured.
+			if t.state.CompareAndSwap(0, 1) {
+				fn()
+			}
+		})
+	})
+	return t
+}
+
+func (c liveClock) Every(period time.Duration, fn func()) runtime.Ticker {
+	if period <= 0 {
+		panic("livert: non-positive ticker period")
+	}
+	tk := &liveTicker{c: c, period: period, fn: fn}
+	tk.arm()
+	return tk
+}
+
+// liveTimer's state: 0 pending, 1 fired, 2 cancelled.
+type liveTimer struct {
+	at    time.Duration
+	state atomic.Int32
+	real  *time.Timer
+}
+
+func (t *liveTimer) Cancel() {
+	if t == nil {
+		return
+	}
+	t.state.CompareAndSwap(0, 2)
+	t.real.Stop()
+}
+
+func (t *liveTimer) Stopped() bool { return t == nil || t.state.Load() != 0 }
+
+func (t *liveTimer) When() time.Duration { return t.at }
+
+// liveTicker re-arms on the wall-clock side of each fire, so the tick rate
+// holds steady even when the peer's mailbox is backlogged — heartbeat
+// intervals must not stretch with queueing delay or busy peers would be
+// presumed dead. Ticks that land while the previous one is still queued
+// coalesce instead of piling up.
+type liveTicker struct {
+	c       liveClock
+	period  time.Duration
+	fn      func()
+	stopped atomic.Bool
+	pending atomic.Bool
+	mu      sync.Mutex
+	real    *time.Timer
+}
+
+func (tk *liveTicker) arm() {
+	tk.mu.Lock()
+	// A ticker on a shut-down runtime must not keep re-arming: its ticks
+	// can never run, and the orphan timer would fire forever.
+	if !tk.stopped.Load() && !tk.c.rt.closed.Load() {
+		tk.real = time.AfterFunc(tk.period, tk.fire)
+	}
+	tk.mu.Unlock()
+}
+
+func (tk *liveTicker) fire() {
+	tk.arm() // fixed rate: independent of mailbox drain time
+	if tk.stopped.Load() {
+		return
+	}
+	if !tk.pending.CompareAndSwap(false, true) {
+		return // previous tick still queued; coalesce
+	}
+	if !tk.c.rt.Exec(tk.c.peer, func() {
+		tk.pending.Store(false)
+		if !tk.stopped.Load() {
+			tk.fn()
+		}
+	}) {
+		tk.pending.Store(false) // runtime closed; the closure never runs
+	}
+}
+
+func (tk *liveTicker) Stop() {
+	tk.stopped.Store(true)
+	tk.mu.Lock()
+	if tk.real != nil {
+		tk.real.Stop()
+	}
+	tk.mu.Unlock()
+}

@@ -1,0 +1,146 @@
+// Package runtime defines the execution-environment abstraction the Mortar
+// peer core runs against. A peer needs exactly four things from its world: a
+// clock to read time and schedule callbacks (Clock, Timer, Ticker), a
+// best-effort datagram transport with per-peer serialized delivery
+// (Transport), and an execution context that serializes everything a peer
+// does (Spawner). Runtime bundles them for a fixed-size federation.
+//
+// Two implementations exist:
+//
+//   - runtime/simrt adapts the deterministic discrete-event pair
+//     eventsim+netem. Every peer shares one virtual clock and one event
+//     loop, so a whole federation runs single-threaded and every run is
+//     exactly reproducible from a seed. The figure experiments and most
+//     tests use it.
+//   - runtime/livert runs each peer as its own goroutine with a mailbox,
+//     timers on real time, and an in-process loss/latency/duplication
+//     injecting transport. It is the skeleton of a deployable system and is
+//     exercised under the race detector.
+//
+// The peer core (internal/mortar) imports only this package, never a
+// backend, so the same protocol code runs simulated or live.
+package runtime
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Class labels a message for accounting purposes, so backends can split
+// network load into data and control overhead (the paper reports heartbeat
+// overhead separately from query traffic).
+type Class uint8
+
+const (
+	// ClassData carries query tuples.
+	ClassData Class = iota
+	// ClassControl carries heartbeats, reconciliation, installs, probes.
+	ClassControl
+)
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Cancel prevents the callback from running. Cancelling an already
+	// fired or cancelled timer is a no-op.
+	Cancel()
+	// Stopped reports whether the timer has fired or been cancelled.
+	Stopped() bool
+	// When returns the runtime time at which the timer is (or was) due.
+	When() time.Duration
+}
+
+// Ticker repeatedly invokes a callback at a fixed period until stopped.
+type Ticker interface {
+	// Stop halts the ticker; an in-flight tick is cancelled.
+	Stop()
+}
+
+// Clock schedules work for one peer. Time is measured from the start of the
+// runtime (virtual time under simulation, wall time since startup live).
+// Callbacks run inside the owning peer's serialization domain: they never
+// overlap with each other or with message delivery to that peer.
+type Clock interface {
+	// Now returns the current runtime time.
+	Now() time.Duration
+	// After schedules fn to run d from now. A non-positive d schedules fn
+	// for the earliest opportunity.
+	After(d time.Duration, fn func()) Timer
+	// Every schedules fn to run every period, starting one period from
+	// now. Period must be positive.
+	Every(period time.Duration, fn func()) Ticker
+}
+
+// Handler receives a message delivered to a peer. from is the sending
+// peer's index, or negative when the sender is unknown.
+type Handler func(from int, payload any, size int)
+
+// Transport moves messages between peers, addressed by federation index.
+// Delivery is best-effort (messages may be lost, delayed, or — on some
+// backends — duplicated) but always serialized per receiving peer: a peer's
+// handler never runs concurrently with itself or with that peer's timer
+// callbacks.
+type Transport interface {
+	// Send transmits payload of the given application size in bytes. It
+	// never blocks; it returns false only if the source itself is down or
+	// the destination is unreachable.
+	Send(from, to int, class Class, size int, payload any) bool
+	// Handle registers the delivery handler for a peer, replacing any
+	// previous handler. Register handlers before any traffic flows.
+	Handle(peer int, h Handler)
+	// SetDown disconnects (true) or reconnects (false) a peer. A down peer
+	// neither sends nor receives; messages in flight to it are dropped at
+	// delivery time.
+	SetDown(peer int, down bool)
+	// Down reports whether a peer is disconnected.
+	Down(peer int) bool
+	// Latency estimates the one-way network latency between two peers,
+	// for planner input (Vivaldi measurements in the prototype).
+	Latency(a, b int) time.Duration
+}
+
+// Spawner manages the execution contexts peers run in. Under the simulator
+// every peer shares the single event loop and Exec is a direct call; under
+// the live runtime each peer is a goroutine draining a mailbox and Exec
+// posts to it.
+type Spawner interface {
+	// Exec runs fn inside the peer's serialization domain. It reports
+	// whether fn was accepted (false after Shutdown). Exec never blocks on
+	// fn's completion; use ExecWait for synchronous semantics.
+	Exec(peer int, fn func()) bool
+	// Shutdown stops message and timer delivery and waits for peer
+	// contexts to drain. After Shutdown returns, no peer code runs and
+	// peer state may be inspected from the caller's goroutine.
+	Shutdown()
+}
+
+// Runtime binds per-peer clocks, the shared transport, and peer execution
+// contexts for a federation of NumPeers peers.
+type Runtime interface {
+	// NumPeers returns the federation size.
+	NumPeers() int
+	// Clock returns the scheduling clock for a peer.
+	Clock(peer int) Clock
+	// Transport returns the shared transport.
+	Transport() Transport
+	// Rand returns the runtime's deterministic random source, for setup
+	// work such as query planning. It is not synchronized: use it only
+	// from the driving goroutine, not from peer callbacks.
+	Rand() *rand.Rand
+	Spawner
+}
+
+// ExecWait runs fn inside the peer's serialization domain and blocks until
+// it returns; it reports whether fn ran. It must be called from a driving
+// goroutine, never from inside a peer callback of another peer (that would
+// deadlock a live backend).
+func ExecWait(rt Runtime, peer int, fn func()) bool {
+	done := make(chan struct{})
+	if !rt.Exec(peer, func() {
+		fn()
+		close(done)
+	}) {
+		return false
+	}
+	<-done
+	return true
+}

@@ -1,0 +1,76 @@
+package simrt
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// The adapter must present the emulated hosts as peer indices with
+// serialized (direct-call) execution and class-mapped accounting.
+func TestAdapterBasics(t *testing.T) {
+	rt := NewPaper(1, 12, TopoOptions{Stubs: 4, Transits: 2})
+	if rt.NumPeers() != 12 {
+		t.Fatalf("NumPeers = %d, want 12", rt.NumPeers())
+	}
+	if lat := rt.Latency(0, 1); lat <= 0 {
+		t.Fatalf("latency %v between distinct peers", lat)
+	}
+
+	var got []int
+	rt.Handle(1, func(from int, payload any, size int) { got = append(got, from) })
+	rt.Send(0, 1, runtime.ClassControl, 16, "hi")
+	rt.Send(2, 1, runtime.ClassData, 16, "yo")
+	rt.RunFor(time.Second)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("delivered senders %v, want [0 2]", got)
+	}
+	if rt.ControlBytes() == 0 || rt.DataBytes() == 0 {
+		t.Fatalf("accounting: control %d data %d", rt.ControlBytes(), rt.DataBytes())
+	}
+
+	ran := false
+	if !rt.Exec(3, func() { ran = true }) || !ran {
+		t.Fatal("Exec must run synchronously on the simulator")
+	}
+
+	rt.SetDown(4, true)
+	if !rt.Down(4) {
+		t.Fatal("SetDown not reflected")
+	}
+
+	// Clock callbacks share the virtual event loop.
+	fired := time.Duration(-1)
+	ck := rt.Clock(5)
+	ck.After(3*time.Second, func() { fired = ck.Now() })
+	rt.RunFor(5 * time.Second)
+	if fired != rt.Now()-2*time.Second {
+		t.Fatalf("timer fired at %v, clock now %v", fired, rt.Now())
+	}
+}
+
+// Two adapters over the same seed must drive identical virtual schedules.
+func TestNewPaperDeterministic(t *testing.T) {
+	trace := func() []time.Duration {
+		rt := NewPaper(9, 20, TopoOptions{})
+		var at []time.Duration
+		rt.Handle(1, func(from int, payload any, size int) { at = append(at, rt.Now()) })
+		for i := 0; i < 10; i++ {
+			rt.Clock(0).After(time.Duration(i)*time.Second, func() {
+				rt.Send(0, 1, runtime.ClassData, 64, i)
+			})
+		}
+		rt.RunFor(20 * time.Second)
+		return at
+	}
+	a, b := trace(), trace()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("trace lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
