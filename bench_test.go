@@ -34,6 +34,7 @@ import (
 	"repro/internal/tslist"
 	"repro/internal/tuple"
 	"repro/internal/vclock"
+	"repro/internal/wire"
 )
 
 var figScale = flag.String("figscale", "quick", "experiment scale: quick or full")
@@ -274,6 +275,94 @@ func BenchmarkLiveThroughput(b *testing.B) {
 	time.Sleep(400 * time.Millisecond) // let in-flight windows evict and report
 	rt.Shutdown()
 	b.ReportMetric(float64(results.Load()), "results")
+}
+
+// --- Codec microbenchmarks (the per-message cost on the hot summary path) ---
+
+// benchEnvelope is a representative data-plane envelope: a merged summary
+// striped over 4 trees, as every interior operator transmits each slide.
+func benchEnvelope() *wire.Envelope {
+	return &wire.Envelope{
+		S: tuple.Summary{
+			Query:  "cpu-sum",
+			Index:  tuple.Index{TB: 41 * time.Second, TE: 42 * time.Second},
+			Value:  float64(17.5),
+			Age:    120 * time.Millisecond,
+			Count:  42,
+			Hops:   3,
+			Levels: []int16{2, -1, 3, 0},
+		},
+		Tree:    1,
+		TTLDown: 1,
+		SentAt:  95 * time.Second,
+	}
+}
+
+func BenchmarkWireEncodeEnvelope(b *testing.B) {
+	env := benchEnvelope()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w wire.Buffer
+		if err := wire.EncodeMessage(&w, env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeEnvelope(b *testing.B) {
+	var w wire.Buffer
+	if err := wire.EncodeMessage(&w, benchEnvelope()); err != nil {
+		b.Fatal(err)
+	}
+	buf := w.Bytes()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.DecodeMessage(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireEncodeHeartbeat(b *testing.B) {
+	hb := wire.Heartbeat{Seq: 123456, Hash: 0xfeedface}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w wire.Buffer
+		if err := wire.EncodeMessage(&w, hb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireInstallRoundTrip(b *testing.B) {
+	m := wire.Install{
+		Meta: wire.QueryMeta{
+			Name: "bench", Seq: 3, OpName: "sum",
+			Window: tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+		},
+		Members: map[int]wire.Neighbors{},
+		Forward: map[int][]int{},
+	}
+	for p := 0; p < 16; p++ {
+		m.Members[p] = wire.Neighbors{
+			Parents:  []int{p - 1, (p + 7) % 16},
+			Children: [][]int{{p + 1}, nil},
+			Levels:   []int{p % 5, (p + 1) % 5},
+		}
+		if p%4 == 0 {
+			m.Forward[p] = []int{p + 1, p + 2}
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var w wire.Buffer
+		if err := wire.EncodeMessage(&w, m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeMessage(w.Bytes()); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Microbenchmarks of the hot data structures ---

@@ -1,25 +1,41 @@
 // Command mortard runs a Mortar federation and executes an MSL program
 // against it, streaming root results to stdout. It is the "daemon"-shaped
-// entry point, with two backends:
+// entry point, with three backends:
 //
 //   - default: the deterministic discrete-event emulation the experiments
 //     use, compressing minutes of virtual time into milliseconds;
 //   - -live: real concurrency — every peer is a goroutine with a mailbox,
 //     timers fire on the wall clock, and messages cross an in-process
 //     lossy transport. The run takes -duration of real time.
+//   - -peers-file: the multi-process UDP mode — every peer binds a socket
+//     from the shared peers file (one host:port per line, line i = peer i)
+//     and all traffic crosses the wire as internal/wire datagrams. Each
+//     process hosts the peer range given by -host. The process hosting
+//     peer 0 is the coordinator: it measures RTTs, plans the queries, and
+//     runs the install multicast; worker processes receive their operators
+//     over the network. With -listen the coordinator waits until joining
+//     workers cover the whole federation before planning; workers -join
+//     the coordinator and run until it hangs up.
 //
 // Usage:
 //
 //	mortard -peers 200 -duration 60s -msl query.msl
 //	mortard -peers 100 -fail 0.2        # with 20% of peers disconnected
 //	mortard -live -peers 50 -duration 5s
+//
+//	# one federation, two processes, via UDP on a shared peers file:
+//	mortard -peers-file peers.txt -host 8-15 -join 127.0.0.1:9000
+//	mortard -peers-file peers.txt -host 0-7 -listen 127.0.0.1:9000 -duration 10s
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/eventsim"
@@ -27,19 +43,24 @@ import (
 	"repro/internal/msl"
 	"repro/internal/netem"
 	"repro/internal/runtime/livert"
+	"repro/internal/runtime/netrt"
 	"repro/internal/tuple"
 )
 
 func main() {
 	var (
 		peers    = flag.Int("peers", 100, "federation size")
-		duration = flag.Duration("duration", 30*time.Second, "run time (virtual, or real with -live)")
+		duration = flag.Duration("duration", 30*time.Second, "run time (virtual, or real with -live / -peers-file)")
 		program  = flag.String("msl", "", "MSL program file (default: a count query)")
 		fail     = flag.Float64("fail", 0, "fraction of peers to disconnect mid-run")
 		seed     = flag.Int64("seed", 1, "random seed")
 		live     = flag.Bool("live", false, "run peers as goroutines on the live runtime instead of the simulator")
 		loss     = flag.Float64("loss", 0.01, "live transport loss probability (-live only)")
 		dup      = flag.Float64("dup", 0, "live transport control-plane duplication probability (-live only)")
+		peersFil = flag.String("peers-file", "", "UDP mode: peer address directory, one host:port per line")
+		host     = flag.String("host", "", "UDP mode: peer range this process hosts, e.g. 0-15")
+		listen   = flag.String("listen", "", "UDP mode, coordinator: TCP address to accept worker joins on")
+		join     = flag.String("join", "", "UDP mode, worker: coordinator TCP address to join")
 	)
 	flag.Parse()
 
@@ -47,18 +68,20 @@ func main() {
 	if *program != "" {
 		b, err := os.ReadFile(*program)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		src = string(b)
 	}
 	prog, err := msl.Parse(src)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	if *peersFil != "" {
+		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration, *seed)
+		return
+	}
 	if *live {
 		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup)
 		return
@@ -69,8 +92,7 @@ func main() {
 	net := netem.New(sim, topo)
 	fed, err := federation.New(net, prog, rng)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fed.PrintResults(os.Stdout)
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
@@ -91,6 +113,11 @@ func main() {
 	sim.RunUntil(*duration)
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 // runLive executes the same program on the goroutine-per-peer runtime and
 // sleeps through real time instead of stepping a simulator.
 func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64) {
@@ -103,8 +130,7 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	})
 	fed, err := federation.NewRuntime(rt, prog, rng)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fed.PrintResults(os.Stdout)
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
@@ -127,4 +153,155 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	sent, delivered, dropped, duplicated := rt.Stats()
 	fmt.Printf("# live transport: sent=%d delivered=%d dropped=%d duplicated=%d\n",
 		sent, delivered, dropped, duplicated)
+}
+
+// runNet executes the program across separate processes over UDP: this
+// process binds sockets for the peers in hostSpec and either coordinates
+// (hosts peer 0) or works until the coordinator hangs up.
+func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, seed int64) {
+	dir, err := netrt.LoadDirectory(peersFile)
+	if err != nil {
+		fatal(err)
+	}
+	if hostSpec == "" {
+		fatal(fmt.Errorf("mortard: -peers-file requires -host (the peer range this process binds)"))
+	}
+	local, err := netrt.ParseRange(hostSpec, len(dir))
+	if err != nil {
+		fatal(err)
+	}
+	rt, err := netrt.New(dir, local, netrt.Options{Seed: seed})
+	if err != nil {
+		fatal(err)
+	}
+	defer rt.Shutdown()
+
+	if !rt.Local(0) {
+		runNetWorker(rt, join, duration)
+		return
+	}
+
+	// Coordinator: wait for workers, measure, plan, install, run.
+	var workers []net.Conn
+	if listen != "" {
+		workers, err = awaitWorkers(listen, local, len(dir))
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			for _, c := range workers {
+				c.Close() // hang-up tells workers the run is over
+			}
+		}()
+	}
+	fmt.Printf("# coordinator hosting %d of %d peers; probing RTTs\n", len(local), len(dir))
+	rt.ProbeAll(5, 100*time.Millisecond)
+	fed, err := federation.NewRuntime(rt, prog, rng)
+	if err != nil {
+		fatal(err)
+	}
+	fed.PrintResults(os.Stdout)
+	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
+		return tuple.Raw{Vals: []float64{1}}
+	}, rng)
+	time.Sleep(duration)
+	rt.Shutdown()
+	sent, delivered, dropped := rt.Stats()
+	fmt.Printf("# udp transport: sent=%d delivered=%d dropped=%d\n", sent, delivered, dropped)
+}
+
+// runNetWorker hosts a peer range: sensors feed the local peers, operators
+// arrive over the network via install multicast and reconciliation.
+func runNetWorker(rt *netrt.Runtime, join string, duration time.Duration) {
+	fed, err := federation.NewWorker(rt)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
+		return tuple.Raw{Vals: []float64{1}}
+	}, rng)
+	locals := rt.LocalPeers()
+	fmt.Printf("# worker hosting peers %d..%d\n", locals[0], locals[len(locals)-1])
+	if join == "" {
+		time.Sleep(duration)
+		return
+	}
+	// The coordinator may start after its workers; retry the join dial.
+	var conn net.Conn
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		conn, err = net.Dial("tcp", join)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	fmt.Fprintf(conn, "JOIN %d-%d\n", locals[0], locals[len(locals)-1])
+	// Block until the coordinator hangs up (end of run) or duration as a
+	// fallback if it never does.
+	done := make(chan struct{})
+	go func() {
+		_, _ = bufio.NewReader(conn).ReadString('\n')
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(duration + time.Minute):
+	}
+	conn.Close()
+}
+
+// awaitWorkers accepts JOIN lines on a TCP listener until the local range
+// plus the joined ranges cover every peer in the directory. The accepted
+// connections stay open; closing them signals the end of the run.
+func awaitWorkers(listen string, local []int, n int) ([]net.Conn, error) {
+	covered := make([]bool, n)
+	remaining := n
+	for _, p := range local {
+		covered[p] = true
+		remaining--
+	}
+	if remaining == 0 {
+		return nil, nil
+	}
+	l, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	fmt.Printf("# waiting for workers to cover %d peers on %s\n", remaining, listen)
+	var conns []net.Conn
+	for remaining > 0 {
+		c, err := l.Accept()
+		if err != nil {
+			return conns, err
+		}
+		line, err := bufio.NewReader(c).ReadString('\n')
+		if err != nil {
+			c.Close()
+			continue
+		}
+		spec, ok := strings.CutPrefix(strings.TrimSpace(line), "JOIN ")
+		if !ok {
+			c.Close()
+			continue
+		}
+		peersRange, err := netrt.ParseRange(spec, n)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		for _, p := range peersRange {
+			if !covered[p] {
+				covered[p] = true
+				remaining--
+			}
+		}
+		conns = append(conns, c)
+		fmt.Printf("# worker joined with %s; %d peers still uncovered\n", spec, remaining)
+	}
+	return conns, nil
 }

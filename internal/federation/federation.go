@@ -123,18 +123,39 @@ func NewRuntime(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand) (*Federat
 	return f, nil
 }
 
+// NewWorker builds a fabric over a runtime that hosts a subset of the
+// federation's peers (a netrt worker process) without planning or
+// installing anything: workers receive their operators through the
+// coordinator's install multicast and pair-wise reconciliation, exactly as
+// recovered peers do. Only the coordinator — the process hosting the query
+// roots — runs NewRuntime.
+func NewWorker(rt runtime.Runtime) (*Federation, error) {
+	fab, err := mortar.NewFabric(rt, nil, mortar.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Federation{Fab: fab, Rt: rt, defs: map[string]*mortar.QueryDef{}}, nil
+}
+
 // Def returns the compiled definition of a query.
 func (f *Federation) Def(name string) *mortar.QueryDef { return f.defs[name] }
 
 // StartSensors emits one tuple per period per peer using gen, with
 // per-peer phase jitter. gen runs inside each peer's serialization domain;
 // under a live runtime that means concurrently across peers, so it must
-// not share mutable state between peers.
+// not share mutable state between peers. On a runtime hosting only a
+// subset of the federation (a netrt process), sensors start for the local
+// peers only — each process feeds its own peers. The phase draw happens
+// for every peer regardless, so the rng stream (and thus simulated runs)
+// is independent of locality.
 func (f *Federation) StartSensors(period time.Duration, gen func(peer int) tuple.Raw, rng *rand.Rand) {
 	for i := 0; i < f.Fab.NumPeers(); i++ {
 		i := i
-		ck := f.Rt.Clock(i)
 		phase := time.Duration(rng.Int63n(int64(period)))
+		if !runtime.IsLocal(f.Rt, i) {
+			continue
+		}
+		ck := f.Rt.Clock(i)
 		ck.After(phase, func() {
 			ck.Every(period, func() {
 				f.Fab.Inject(i, gen(i))

@@ -12,6 +12,7 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/tuple"
 	"repro/internal/vclock"
+	"repro/internal/wire"
 )
 
 // Config tunes the peer runtime. Defaults reproduce the paper's settings:
@@ -272,9 +273,18 @@ func (f *Fabric) Inject(peer int, raw tuple.Raw) {
 }
 
 // send transmits a control or data message between peers over the runtime
-// transport, charging the encoded size.
+// transport. The message is encoded exactly once here: the encoded length
+// is the size every backend charges, and the bytes travel alongside the
+// decoded payload (runtime.Frame) so socket backends transmit them without
+// re-encoding. A message the codec cannot represent is dropped — an
+// unencodable message could never cross a real wire.
 func (f *Fabric) send(from, to int, class runtime.Class, payload any) {
-	f.tr.Send(from, to, class, msgSize(payload), payload)
+	var w wire.Buffer
+	if err := wire.EncodeMessage(&w, payload); err != nil {
+		f.Stats.Dropped.Add(1)
+		return
+	}
+	f.tr.Send(from, to, class, w.Len(), &runtime.Frame{Payload: payload, Bytes: w.Bytes()})
 }
 
 // Compile plans a query over the given member peers (all peers when members

@@ -1,161 +1,38 @@
 package mortar
 
 import (
-	"time"
-
-	"repro/internal/tuple"
 	"repro/internal/wire"
 )
 
-// envelope wraps a summary tuple with its per-hop routing state (§3.3):
-// the tree the current hop travels on and the TTL-down counter bounding
-// flex-down steps. The per-tree level history lives in the summary itself
-// (tuple.Summary.Levels) because it survives merging.
-type envelope struct {
-	S       tuple.Summary
-	Tree    int // tree of the current hop
-	TTLDown uint8
-	SentAt  time.Duration // runtime time at transmit; receiver derives flight time (UdpCC RTT/2)
-}
+// The peer message shapes live in internal/wire alongside their codec:
+// every message the fabric sends is encoded exactly once per transmit
+// (wire.EncodeMessage), its encoded length is the size the transport
+// charges, and socket backends put those bytes on the wire verbatim. The
+// aliases below keep the protocol code reading naturally while guaranteeing
+// the types the peers exchange are precisely the types the codec covers —
+// there is no hand-maintained size estimate to drift from the encoding.
 
-func (e *envelope) size() int {
-	var w wire.Buffer
-	if err := wire.EncodeSummary(&w, e.S, e.TTLDown); err != nil {
-		return 64
-	}
-	return w.Len() + 2 // + tree tag
-}
+// envelope wraps a summary tuple with its per-hop routing state (§3.3).
+type envelope = wire.Envelope
 
-// msgHeartbeat flows parent -> child every heartbeat period. Every few
-// beats it piggybacks the reconciliation hash of the sender's query set.
-type msgHeartbeat struct {
-	Seq  uint64
-	Hash uint64 // 0 when not piggybacked this beat
-}
+// msgHeartbeat flows parent -> child every heartbeat period (§3.3).
+type msgHeartbeat = wire.Heartbeat
 
-func (m msgHeartbeat) size() int {
-	if m.Hash != 0 {
-		return wire.HeartbeatSize()
-	}
-	return wire.HeartbeatSize() - 8
-}
+// msgInstall carries a chunk of the install multicast (§6).
+type msgInstall = wire.Install
 
-// msgInstall carries a chunk of the install multicast: per-member metadata
-// and tree position, plus the forwarding edges within the chunk.
-type msgInstall struct {
-	Meta QueryMeta
-	// Members maps peer -> its neighbors record.
-	Members map[int]neighbors
-	// Forward maps peer -> the chunk members it must forward to.
-	Forward map[int][]int
-}
+// msgRemove multicasts a query removal along the same chunking (§6).
+type msgRemove = wire.Remove
 
-func (m msgInstall) size() int {
-	n := m.Meta.metaWireSize()
-	for _, nb := range m.Members {
-		n += 3 + nb.wireSize()
-	}
-	for _, f := range m.Forward {
-		n += 3 + 3*len(f)
-	}
-	return n
-}
+// msgReconSummary opens pair-wise reconciliation (§6.1).
+type msgReconSummary = wire.ReconSummary
 
-// msgRemove multicasts a query removal along the same chunking.
-type msgRemove struct {
-	Name    string
-	Seq     uint64
-	Forward map[int][]int
-}
+// msgReconDefs is the reconciliation reply (§6.1).
+type msgReconDefs = wire.ReconDefs
 
-func (m msgRemove) size() int {
-	n := len(m.Name) + 10
-	for _, f := range m.Forward {
-		n += 3 + 3*len(f)
-	}
-	return n
-}
+// msgTopoRequest asks a query root for the requester's tree position
+// (§6.1).
+type msgTopoRequest = wire.TopoRequest
 
-// msgReconSummary opens pair-wise reconciliation: the full (small) summary
-// of the sender's installed queries and cached removals (§6.1).
-type msgReconSummary struct {
-	Installed map[string]uint64 // name -> seq
-	Removed   map[string]uint64
-	Metas     []QueryMeta // metadata for everything installed, so the peer can adopt
-}
-
-func (m msgReconSummary) size() int {
-	n := 8
-	for name := range m.Installed {
-		n += len(name) + 9
-	}
-	for name := range m.Removed {
-		n += len(name) + 9
-	}
-	for _, meta := range m.Metas {
-		n += meta.metaWireSize()
-	}
-	return n
-}
-
-// msgReconDefs is the reply: metadata the receiver was missing and
-// removals it had not seen.
-type msgReconDefs struct {
-	Metas   []QueryMeta
-	Removed map[string]uint64
-}
-
-func (m msgReconDefs) size() int {
-	n := 8
-	for _, meta := range m.Metas {
-		n += meta.metaWireSize()
-	}
-	for name := range m.Removed {
-		n += len(name) + 9
-	}
-	return n
-}
-
-// msgTopoRequest asks a query root (the topology server) for the
-// requester's parent/child sets (§6.1).
-type msgTopoRequest struct {
-	Query string
-	Peer  int
-}
-
-func (m msgTopoRequest) size() int { return len(m.Query) + 8 }
-
-// msgTopoReply returns the requester's position in the tree set.
-type msgTopoReply struct {
-	Query string
-	Seq   uint64
-	NB    neighbors
-	// Unknown is set when the root no longer knows the query (removed).
-	Unknown bool
-}
-
-func (m msgTopoReply) size() int { return len(m.Query) + 10 + m.NB.wireSize() }
-
-// msgSize dispatches to the per-type size estimate.
-func msgSize(payload any) int {
-	switch m := payload.(type) {
-	case *envelope:
-		return m.size()
-	case msgHeartbeat:
-		return m.size()
-	case msgInstall:
-		return m.size()
-	case msgRemove:
-		return m.size()
-	case msgReconSummary:
-		return m.size()
-	case msgReconDefs:
-		return m.size()
-	case msgTopoRequest:
-		return m.size()
-	case msgTopoReply:
-		return m.size()
-	default:
-		return 32
-	}
-}
+// msgTopoReply returns the requester's position in the tree set (§6.1).
+type msgTopoReply = wire.TopoReply

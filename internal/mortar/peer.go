@@ -86,10 +86,16 @@ func (p *Peer) alive(other int) bool {
 // markHeard refreshes a neighbor's liveness.
 func (p *Peer) markHeard(other int) { p.lastHeard[other] = p.now() }
 
-// deliver is the transport handler: dispatch by message type.
+// deliver is the transport handler: dispatch by message type. In-process
+// backends deliver the runtime.Frame the fabric sent (decoded payload plus
+// its encoding); socket backends deliver the payload they decoded off the
+// wire.
 func (p *Peer) deliver(src int, payload any, size int) {
 	if src < 0 || src >= p.fab.NumPeers() {
 		return
+	}
+	if fr, ok := payload.(*runtime.Frame); ok {
+		payload = fr.Payload
 	}
 	switch m := payload.(type) {
 	case *envelope:

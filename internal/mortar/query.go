@@ -20,36 +20,16 @@ import (
 	"repro/internal/ops"
 	"repro/internal/plan"
 	"repro/internal/tuple"
+	"repro/internal/wire"
 )
 
 // QueryMeta is the part of a query definition every hosting peer keeps: the
 // operator type, its query-specific arguments, and the window. It is small
 // and travels in install and reconciliation messages; tree topology stays
-// at the query root, which acts as the topology server (§6.1).
-type QueryMeta struct {
-	// Name identifies the query; the storage layer guarantees single-writer
-	// semantics per name.
-	Name string
-	// Seq is the management command sequence number issued by the object
-	// store; peers use it to order installs against removals.
-	Seq uint64
-	// OpName and OpArgs choose the in-network operator from the registry.
-	OpName string
-	OpArgs []string
-	// Window is the operator's sliding window.
-	Window tuple.WindowSpec
-	// FilterKey, when non-empty, makes source operators drop raw tuples
-	// whose Key differs (the Wi-Fi select stage, §7.4).
-	FilterKey string
-	// Root is the peer hosting the root operator and topology service.
-	Root int
-	// IssuedSim records when the query was issued. Installing peers
-	// subtract the install message's age from their reference clock so
-	// syncless indices share an epoch despite install deltas (§5.1: "we
-	// correct for this effect by tracking the age of the query
-	// installation message").
-	IssuedSim time.Duration
-}
+// at the query root, which acts as the topology server (§6.1). The shape
+// (and its codec) lives in internal/wire; see wire.QueryMeta for the field
+// documentation.
+type QueryMeta = wire.QueryMeta
 
 // QueryDef is the full compiled query: metadata plus the planned tree set
 // and the member list mapping tree indices to peer IDs (queries are scoped:
@@ -100,12 +80,9 @@ func (d *QueryDef) memberIndex(peer int) int {
 
 // neighbors is one peer's position in a query's tree set: its parent,
 // children, and level per tree. This is what the install multicast carries
-// per node and what the topology service returns during recovery.
-type neighbors struct {
-	Parents  []int   // per tree; -1 at the root
-	Children [][]int // per tree
-	Levels   []int   // per tree
-}
+// per node and what the topology service returns during recovery. The
+// shape (and its codec) lives in internal/wire as wire.Neighbors.
+type neighbors = wire.Neighbors
 
 // neighborsFor extracts a member's position, translating member indices to
 // peer IDs.
@@ -128,26 +105,6 @@ func neighborsFor(d *QueryDef, memberIdx int) neighbors {
 		nb.Levels[i] = t.Level[memberIdx]
 	}
 	return nb
-}
-
-// wireSize estimates the encoded size of a neighbors record: one varint per
-// parent/level plus each child id.
-func (nb neighbors) wireSize() int {
-	n := 0
-	for i := range nb.Parents {
-		n += 3 + 3 // parent + level varints
-		n += 3 * len(nb.Children[i])
-	}
-	return n
-}
-
-// metaWireSize estimates the encoded size of query metadata.
-func (m QueryMeta) metaWireSize() int {
-	n := len(m.Name) + len(m.OpName) + len(m.FilterKey) + 16
-	for _, a := range m.OpArgs {
-		n += len(a) + 1
-	}
-	return n
 }
 
 // Result is one answer emitted by a query's root operator.

@@ -6,7 +6,8 @@
 // peer code keeps the single-threaded semantics it was written for while
 // the federation as a whole runs genuinely parallel. The package is safe
 // under the race detector by construction: cross-peer communication happens
-// only through mailboxes and atomics.
+// only through mailboxes and atomics. The mailbox and wall-clock machinery
+// is shared with the socket backend (runtime/netrt) via runtime/actor.
 package livert
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/runtime"
+	"repro/internal/runtime/actor"
 )
 
 // Options tunes the in-process transport and the runtime's random stream.
@@ -23,8 +25,18 @@ type Options struct {
 	// Seed drives loss, duplication, and per-message delay jitter.
 	Seed int64
 	// MinDelay and MaxDelay bound the uniformly drawn one-way message
-	// delay. Defaults: 200µs .. 2ms.
+	// delay. Defaults: 200µs .. 2ms. Ignored when PairDelay is set.
 	MinDelay, MaxDelay time.Duration
+	// PairDelay, when non-nil, gives the deterministic base one-way delay
+	// between an ordered pair of peers — an in-process stand-in for a real
+	// topology. Each message is delayed PairDelay(from, to) plus a uniform
+	// draw from [0, Jitter], and Latency reports the pair's configured
+	// delay (plus mean jitter), so planners see the injected topology
+	// instead of a constant mean.
+	PairDelay func(from, to int) time.Duration
+	// Jitter bounds the per-message random delay added on top of
+	// PairDelay. Zero means deterministic per-pair delays.
+	Jitter time.Duration
 	// Loss is the probability a message is silently dropped.
 	Loss float64
 	// CtrlDup is the probability a control-plane message is delivered
@@ -44,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxDelay < o.MinDelay {
 		panic("livert: MaxDelay < MinDelay")
+	}
+	if o.Jitter < 0 {
+		panic("livert: negative Jitter")
 	}
 	return o
 }
@@ -71,7 +86,7 @@ type Runtime struct {
 	hands []runtime.Handler
 
 	down  []atomic.Bool
-	boxes []*mailbox
+	boxes []*actor.Mailbox
 	wg    sync.WaitGroup
 	// inflight tracks delivery timers not yet resolved; flmu orders Add
 	// against Shutdown's Wait (a bare Add concurrent with a zero-counter
@@ -97,7 +112,7 @@ func New(n int, opt Options) *Runtime {
 		rngs:   make([]*rand.Rand, n),
 		hands:  make([]runtime.Handler, n),
 		down:   make([]atomic.Bool, n),
-		boxes:  make([]*mailbox, n),
+		boxes:  make([]*actor.Mailbox, n),
 	}
 	// All streams derive from one seeded source before any goroutine
 	// runs, so the unsynchronized draws here are safe.
@@ -107,11 +122,11 @@ func New(n int, opt Options) *Runtime {
 	}
 	r.planRng = rand.New(rand.NewSource(seeder.Int63()))
 	for i := range r.boxes {
-		r.boxes[i] = newMailbox()
+		r.boxes[i] = actor.NewMailbox()
 		r.wg.Add(1)
-		go func(box *mailbox) {
+		go func(box *actor.Mailbox) {
 			defer r.wg.Done()
-			box.loop()
+			box.Loop()
 		}(r.boxes[i])
 	}
 	return r
@@ -123,7 +138,13 @@ func New(n int, opt Options) *Runtime {
 func (r *Runtime) NumPeers() int { return r.n }
 
 // Clock returns a wall clock whose callbacks run in the peer's mailbox.
-func (r *Runtime) Clock(peer int) runtime.Clock { return liveClock{rt: r, peer: peer} }
+func (r *Runtime) Clock(peer int) runtime.Clock {
+	return actor.Clock{
+		Start:  r.start,
+		Post:   func(fn func()) bool { return r.Exec(peer, fn) },
+		Closed: r.closed.Load,
+	}
+}
 
 // Transport returns the in-process transport.
 func (r *Runtime) Transport() runtime.Transport { return r }
@@ -138,7 +159,7 @@ func (r *Runtime) Exec(peer int, fn func()) bool {
 	if peer < 0 || peer >= r.n {
 		return false
 	}
-	return r.boxes[peer].post(fn)
+	return r.boxes[peer].Post(fn)
 }
 
 // Shutdown stops delivery, resolves in-flight messages (bounded by
@@ -152,7 +173,7 @@ func (r *Runtime) Shutdown() {
 		return
 	}
 	for _, b := range r.boxes {
-		b.close()
+		b.Close()
 	}
 	// Barrier: any deliverAfter that won the race against closed has
 	// finished registering with inflight once we can take flmu.
@@ -184,9 +205,15 @@ func (r *Runtime) SetDown(peer int, down bool) { r.down[peer].Store(down) }
 // Down reports whether a peer is disconnected.
 func (r *Runtime) Down(peer int) bool { return r.down[peer].Load() }
 
-// Latency reports the transport's mean one-way delay, the planner's
-// latency estimate for every pair.
+// Latency reports the configured one-way delay for a pair: PairDelay plus
+// mean jitter when a pair-delay topology is configured, otherwise the
+// uniform draw's mean. This is the planner's latency estimate, so with
+// PairDelay set, live planning sees the injected topology (Vivaldi
+// embedding in the prototype).
 func (r *Runtime) Latency(a, b int) time.Duration {
+	if r.opt.PairDelay != nil {
+		return r.opt.PairDelay(a, b) + r.opt.Jitter/2
+	}
 	return (r.opt.MinDelay + r.opt.MaxDelay) / 2
 }
 
@@ -204,10 +231,17 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 	rng := r.rngs[from]
 	lost := r.opt.Loss > 0 && rng.Float64() < r.opt.Loss
 	dup := class == runtime.ClassControl && r.opt.CtrlDup > 0 && rng.Float64() < r.opt.CtrlDup
-	span := int64(r.opt.MaxDelay - r.opt.MinDelay)
-	delay := r.opt.MinDelay
-	if span > 0 {
-		delay += time.Duration(rng.Int63n(span + 1))
+	var delay time.Duration
+	if r.opt.PairDelay != nil {
+		delay = r.opt.PairDelay(from, to)
+		if r.opt.Jitter > 0 {
+			delay += time.Duration(rng.Int63n(int64(r.opt.Jitter) + 1))
+		}
+	} else {
+		delay = r.opt.MinDelay
+		if span := int64(r.opt.MaxDelay - r.opt.MinDelay); span > 0 {
+			delay += time.Duration(rng.Int63n(span + 1))
+		}
 	}
 	r.sendMu[from].Unlock()
 	if lost {
@@ -244,174 +278,11 @@ func (r *Runtime) deliverAfter(delay time.Duration, from, to int, payload any, s
 			r.dropped.Add(1)
 			return
 		}
-		if r.boxes[to].post(func() { h(from, payload, size) }) {
+		if r.boxes[to].Post(func() { h(from, payload, size) }) {
 			r.delivered.Add(1)
 		} else {
 			// Mailbox already closed by Shutdown: the message is lost.
 			r.dropped.Add(1)
 		}
 	})
-}
-
-// --- mailbox: an unbounded FIFO work queue, one goroutine draining it ---
-
-// mailbox is unbounded so that cyclic peer-to-peer sends can never
-// deadlock: posting never blocks, only the draining goroutine runs work.
-type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      []func()
-	closed bool
-}
-
-func newMailbox() *mailbox {
-	m := &mailbox{}
-	m.cond = sync.NewCond(&m.mu)
-	return m
-}
-
-// post enqueues fn; it reports false (dropping fn) after close.
-func (m *mailbox) post(fn func()) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return false
-	}
-	m.q = append(m.q, fn)
-	m.cond.Signal()
-	return true
-}
-
-// close stops intake; already queued work still drains.
-func (m *mailbox) close() {
-	m.mu.Lock()
-	m.closed = true
-	m.cond.Broadcast()
-	m.mu.Unlock()
-}
-
-// loop drains the queue until closed and empty.
-func (m *mailbox) loop() {
-	for {
-		m.mu.Lock()
-		for len(m.q) == 0 && !m.closed {
-			m.cond.Wait()
-		}
-		if len(m.q) == 0 {
-			m.mu.Unlock()
-			return
-		}
-		fn := m.q[0]
-		m.q[0] = nil // release the closure (and its captured payload) now
-		m.q = m.q[1:]
-		m.mu.Unlock()
-		fn()
-	}
-}
-
-// --- clock ---
-
-// liveClock schedules wall-clock callbacks into one peer's mailbox.
-type liveClock struct {
-	rt   *Runtime
-	peer int
-}
-
-func (c liveClock) Now() time.Duration { return time.Since(c.rt.start) }
-
-func (c liveClock) After(d time.Duration, fn func()) runtime.Timer {
-	if d < 0 {
-		d = 0
-	}
-	t := &liveTimer{at: c.Now() + d}
-	t.real = time.AfterFunc(d, func() {
-		c.rt.Exec(c.peer, func() {
-			// Decided inside the peer's domain so Cancel from the same
-			// domain is always honoured.
-			if t.state.CompareAndSwap(0, 1) {
-				fn()
-			}
-		})
-	})
-	return t
-}
-
-func (c liveClock) Every(period time.Duration, fn func()) runtime.Ticker {
-	if period <= 0 {
-		panic("livert: non-positive ticker period")
-	}
-	tk := &liveTicker{c: c, period: period, fn: fn}
-	tk.arm()
-	return tk
-}
-
-// liveTimer's state: 0 pending, 1 fired, 2 cancelled.
-type liveTimer struct {
-	at    time.Duration
-	state atomic.Int32
-	real  *time.Timer
-}
-
-func (t *liveTimer) Cancel() {
-	if t == nil {
-		return
-	}
-	t.state.CompareAndSwap(0, 2)
-	t.real.Stop()
-}
-
-func (t *liveTimer) Stopped() bool { return t == nil || t.state.Load() != 0 }
-
-func (t *liveTimer) When() time.Duration { return t.at }
-
-// liveTicker re-arms on the wall-clock side of each fire, so the tick rate
-// holds steady even when the peer's mailbox is backlogged — heartbeat
-// intervals must not stretch with queueing delay or busy peers would be
-// presumed dead. Ticks that land while the previous one is still queued
-// coalesce instead of piling up.
-type liveTicker struct {
-	c       liveClock
-	period  time.Duration
-	fn      func()
-	stopped atomic.Bool
-	pending atomic.Bool
-	mu      sync.Mutex
-	real    *time.Timer
-}
-
-func (tk *liveTicker) arm() {
-	tk.mu.Lock()
-	// A ticker on a shut-down runtime must not keep re-arming: its ticks
-	// can never run, and the orphan timer would fire forever.
-	if !tk.stopped.Load() && !tk.c.rt.closed.Load() {
-		tk.real = time.AfterFunc(tk.period, tk.fire)
-	}
-	tk.mu.Unlock()
-}
-
-func (tk *liveTicker) fire() {
-	tk.arm() // fixed rate: independent of mailbox drain time
-	if tk.stopped.Load() {
-		return
-	}
-	if !tk.pending.CompareAndSwap(false, true) {
-		return // previous tick still queued; coalesce
-	}
-	if !tk.c.rt.Exec(tk.c.peer, func() {
-		tk.pending.Store(false)
-		if !tk.stopped.Load() {
-			tk.fn()
-		}
-	}) {
-		tk.pending.Store(false) // runtime closed; the closure never runs
-	}
-}
-
-func (tk *liveTicker) Stop() {
-	tk.stopped.Store(true)
-	tk.mu.Lock()
-	if tk.real != nil {
-		tk.real.Stop()
-	}
-	tk.mu.Unlock()
 }

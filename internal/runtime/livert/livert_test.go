@@ -205,6 +205,34 @@ func TestClockTimersAndTickers(t *testing.T) {
 	}
 }
 
+// With a PairDelay topology configured, Latency must report the pair's
+// injected delay — the planner's input — and Send must actually impose it.
+func TestPairDelayTopology(t *testing.T) {
+	pair := func(a, b int) time.Duration {
+		return time.Duration(1+a+b) * 5 * time.Millisecond
+	}
+	rt := New(3, Options{Seed: 8, PairDelay: pair, Jitter: time.Millisecond})
+	defer rt.Shutdown()
+
+	if got, want := rt.Latency(0, 1), pair(0, 1)+500*time.Microsecond; got != want {
+		t.Fatalf("Latency(0,1) = %v, want configured %v", got, want)
+	}
+	if rt.Latency(1, 2) <= rt.Latency(0, 1) {
+		t.Fatalf("pair delays not distinguished: %v vs %v", rt.Latency(1, 2), rt.Latency(0, 1))
+	}
+
+	var arrived atomic.Int64
+	start := time.Now()
+	rt.Handle(2, func(from int, payload any, size int) {
+		arrived.Store(int64(time.Since(start)))
+	})
+	rt.Send(1, 2, runtime.ClassData, 8, "x")
+	waitFor(t, 5*time.Second, func() bool { return arrived.Load() != 0 })
+	if got := time.Duration(arrived.Load()); got < pair(1, 2) {
+		t.Fatalf("message arrived after %v, before the configured %v", got, pair(1, 2))
+	}
+}
+
 // ExecWait returns only after the function ran in the peer's domain.
 func TestExecWait(t *testing.T) {
 	rt := New(2, Options{Seed: 7})

@@ -1,0 +1,62 @@
+package netrt
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadDirectory reads a peers file: one UDP host:port per line, line i
+// giving peer i's address. Blank lines and lines starting with # are
+// skipped. This is the -peers-file format mortard's multi-process mode
+// consumes; every process of a federation must read the same file.
+func LoadDirectory(path string) ([]string, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var dir []string
+	for ln, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.Contains(line, ":") {
+			return nil, fmt.Errorf("netrt: peers file %s line %d: %q is not host:port", path, ln+1, line)
+		}
+		dir = append(dir, line)
+	}
+	if len(dir) == 0 {
+		return nil, fmt.Errorf("netrt: peers file %s lists no peers", path)
+	}
+	return dir, nil
+}
+
+// ParseRange parses a peer range "lo-hi" (inclusive) or a single index
+// "i" against a federation of n peers.
+func ParseRange(s string, n int) ([]int, error) {
+	lo, hi := 0, 0
+	if a, b, ok := strings.Cut(s, "-"); ok {
+		var err1, err2 error
+		lo, err1 = strconv.Atoi(strings.TrimSpace(a))
+		hi, err2 = strconv.Atoi(strings.TrimSpace(b))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("netrt: bad peer range %q", s)
+		}
+	} else {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return nil, fmt.Errorf("netrt: bad peer range %q", s)
+		}
+		lo, hi = v, v
+	}
+	if lo < 0 || hi < lo || hi >= n {
+		return nil, fmt.Errorf("netrt: peer range %q outside federation of %d", s, n)
+	}
+	out := make([]int, 0, hi-lo+1)
+	for p := lo; p <= hi; p++ {
+		out = append(out, p)
+	}
+	return out, nil
+}

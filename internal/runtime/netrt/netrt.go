@@ -1,0 +1,595 @@
+// Package netrt is the socket-backed runtime backend: every message between
+// peers crosses the wire as a real UDP datagram carrying the internal/wire
+// encoding, the way the paper's prototype exchanged UdpCC datagrams between
+// hosts. A netrt Runtime hosts a subset of the federation's peers (possibly
+// all of them); each local peer binds its own UDP socket from a shared
+// peer-index -> address directory, and several processes — or several
+// Runtimes in one process, for loopback tests — form one federation by
+// agreeing on that directory.
+//
+// Per local peer the Runtime runs a receive goroutine (socket -> decode ->
+// mailbox) and a mailbox goroutine (the peer's serialization domain, shared
+// machinery with runtime/livert via runtime/actor). Datagrams carry a small
+// transport header ahead of the wire frame: sender/destination indices and
+// three timestamp fields implementing UdpCC-style passive RTT measurement —
+// each frame echoes the newest timestamp received from the destination plus
+// the local hold time, so any two peers with bidirectional traffic converge
+// on a smoothed RTT without dedicated probes. Explicit ping/pong probes
+// (ProbeAll) prime the table before traffic flows, and Latency feeds the
+// measured half-RTTs to the planner (Vivaldi's input in the prototype).
+package netrt
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/runtime/actor"
+	"repro/internal/wire"
+)
+
+// Datagram framing: a one-byte frame kind ahead of the header fields.
+const (
+	frameMsg  = 1 // header + wire message frame
+	framePing = 2 // RTT probe
+	framePong = 3 // RTT probe reply
+)
+
+// maxDatagram is the largest frame Send will put on the wire (the UDP
+// payload ceiling); oversized messages are dropped and counted.
+const maxDatagram = 65507
+
+// Options tunes the socket runtime.
+type Options struct {
+	// Seed drives the planning random source.
+	Seed int64
+	// DefaultLatency is Latency's answer for pairs with no RTT measurement
+	// yet (no traffic and no probe). Default 1ms.
+	DefaultLatency time.Duration
+	// RTTAlpha is the EWMA weight for new RTT samples. Default 0.3.
+	RTTAlpha float64
+	// ReadBuffer, when positive, sets SO_RCVBUF on every local socket.
+	ReadBuffer int
+}
+
+func (o Options) withDefaults() Options {
+	if o.DefaultLatency <= 0 {
+		o.DefaultLatency = time.Millisecond
+	}
+	if o.RTTAlpha <= 0 || o.RTTAlpha > 1 {
+		o.RTTAlpha = 0.3
+	}
+	return o
+}
+
+// Runtime hosts a contiguous-or-not set of local peers over UDP sockets.
+// It implements runtime.Runtime, runtime.Transport, and runtime.Locality.
+type Runtime struct {
+	n       int
+	local   []int
+	isLocal []bool
+	addrs   []*net.UDPAddr
+	conns   []*net.UDPConn   // nil for non-local peers
+	boxes   []*actor.Mailbox // nil for non-local peers
+	start   time.Time
+	opt     Options
+	planRng *rand.Rand
+
+	hmu   sync.RWMutex
+	hands []runtime.Handler
+
+	down   []atomic.Bool
+	closed atomic.Bool
+	wg     sync.WaitGroup
+
+	// Per local peer: the newest transmit stamp received from each remote
+	// (for echoing) and the smoothed RTT per remote. Guarded by peerMu of
+	// the local peer; touched by its receive loop and by Send.
+	peerMu []sync.Mutex
+	echo   []map[int]echoState
+	rtt    []map[int]time.Duration
+
+	sent, delivered, dropped atomic.Uint64
+}
+
+// echoState remembers the latest remote transmit stamp and when it
+// arrived, so the next frame to that remote can echo it with a hold time.
+type echoState struct {
+	stamp int64     // remote's nanos-since-start at its transmit
+	at    time.Time // local wall time of receipt
+}
+
+var _ runtime.Runtime = (*Runtime)(nil)
+var _ runtime.Transport = (*Runtime)(nil)
+var _ runtime.Locality = (*Runtime)(nil)
+
+// New binds a UDP socket for every local peer at its directory address and
+// starts the receive and mailbox goroutines. directory[i] is peer i's UDP
+// host:port; local lists the peer indices this process hosts. The caller
+// owns shutting the runtime down.
+func New(directory []string, local []int, opt Options) (*Runtime, error) {
+	addrs := make([]*net.UDPAddr, len(directory))
+	for i, d := range directory {
+		a, err := net.ResolveUDPAddr("udp", d)
+		if err != nil {
+			return nil, fmt.Errorf("netrt: peer %d address %q: %w", i, d, err)
+		}
+		addrs[i] = a
+	}
+	conns := make([]*net.UDPConn, len(directory))
+	for _, p := range local {
+		if p < 0 || p >= len(directory) {
+			return nil, fmt.Errorf("netrt: local peer %d outside directory of %d", p, len(directory))
+		}
+		c, err := net.ListenUDP("udp", addrs[p])
+		if err != nil {
+			for _, cc := range conns {
+				if cc != nil {
+					cc.Close()
+				}
+			}
+			return nil, fmt.Errorf("netrt: bind peer %d: %w", p, err)
+		}
+		conns[p] = c
+		// The socket may have been bound to :0; record the actual address.
+		addrs[p] = c.LocalAddr().(*net.UDPAddr)
+	}
+	return assemble(addrs, local, conns, opt), nil
+}
+
+// assemble wires an already-bound socket set into a running Runtime.
+func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Options) *Runtime {
+	opt = opt.withDefaults()
+	n := len(addrs)
+	r := &Runtime{
+		n:       n,
+		local:   append([]int(nil), local...),
+		isLocal: make([]bool, n),
+		addrs:   addrs,
+		conns:   conns,
+		boxes:   make([]*actor.Mailbox, n),
+		start:   time.Now(),
+		opt:     opt,
+		planRng: rand.New(rand.NewSource(opt.Seed)),
+		hands:   make([]runtime.Handler, n),
+		down:    make([]atomic.Bool, n),
+		peerMu:  make([]sync.Mutex, n),
+		echo:    make([]map[int]echoState, n),
+		rtt:     make([]map[int]time.Duration, n),
+	}
+	for _, p := range local {
+		r.isLocal[p] = true
+		r.echo[p] = make(map[int]echoState)
+		r.rtt[p] = make(map[int]time.Duration)
+		if opt.ReadBuffer > 0 {
+			_ = conns[p].SetReadBuffer(opt.ReadBuffer)
+		}
+		r.boxes[p] = actor.NewMailbox()
+		r.wg.Add(2)
+		go func(box *actor.Mailbox) {
+			defer r.wg.Done()
+			box.Loop()
+		}(r.boxes[p])
+		go r.recvLoop(p)
+	}
+	return r
+}
+
+// NewGroup builds one federation of several Runtimes inside a single
+// process, each hosting one peer range, with every socket bound to an
+// ephemeral loopback port. This is the in-process stand-in for a
+// multi-process deployment — messages still cross the kernel's UDP stack —
+// used by the loopback tests and available to experiments. The returned
+// directory lists the bound addresses.
+func NewGroup(ranges [][]int, opt Options) ([]*Runtime, []string, error) {
+	n := 0
+	owner := map[int]int{}
+	for gi, g := range ranges {
+		for _, p := range g {
+			if _, dup := owner[p]; dup {
+				return nil, nil, fmt.Errorf("netrt: peer %d in two ranges", p)
+			}
+			owner[p] = gi
+			n++
+		}
+	}
+	for p := 0; p < n; p++ {
+		if _, ok := owner[p]; !ok {
+			return nil, nil, fmt.Errorf("netrt: ranges do not cover peer %d", p)
+		}
+	}
+	addrs := make([]*net.UDPAddr, n)
+	conns := make([]*net.UDPConn, n)
+	fail := func(err error) ([]*Runtime, []string, error) {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, nil, err
+	}
+	for p := 0; p < n; p++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+		if err != nil {
+			return fail(fmt.Errorf("netrt: bind peer %d: %w", p, err))
+		}
+		conns[p] = c
+		addrs[p] = c.LocalAddr().(*net.UDPAddr)
+	}
+	directory := make([]string, n)
+	for p, a := range addrs {
+		directory[p] = a.String()
+	}
+	rts := make([]*Runtime, len(ranges))
+	for gi, g := range ranges {
+		groupConns := make([]*net.UDPConn, n)
+		for _, p := range g {
+			groupConns[p] = conns[p]
+		}
+		rts[gi] = assemble(append([]*net.UDPAddr(nil), addrs...), g, groupConns, opt)
+	}
+	return rts, directory, nil
+}
+
+// --- runtime.Runtime ---
+
+// NumPeers returns the federation size (all processes combined).
+func (r *Runtime) NumPeers() int { return r.n }
+
+// Local reports whether a peer is hosted by this Runtime.
+func (r *Runtime) Local(peer int) bool {
+	return peer >= 0 && peer < r.n && r.isLocal[peer]
+}
+
+// LocalPeers returns the peer indices this Runtime hosts.
+func (r *Runtime) LocalPeers() []int { return append([]int(nil), r.local...) }
+
+// Directory returns the federation's address directory, with local entries
+// resolved to their actually-bound addresses.
+func (r *Runtime) Directory() []string {
+	out := make([]string, r.n)
+	for i, a := range r.addrs {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// Clock returns a wall clock whose callbacks run in the peer's mailbox.
+// Clocks of non-local peers read time but cannot schedule.
+func (r *Runtime) Clock(peer int) runtime.Clock {
+	return actor.Clock{
+		Start:  r.start,
+		Post:   func(fn func()) bool { return r.Exec(peer, fn) },
+		Closed: r.closed.Load,
+	}
+}
+
+// Transport returns the socket transport.
+func (r *Runtime) Transport() runtime.Transport { return r }
+
+// Rand returns the planning random source. Driving goroutine only.
+func (r *Runtime) Rand() *rand.Rand { return r.planRng }
+
+// Exec posts fn to a local peer's mailbox; it reports false for non-local
+// peers and after Shutdown.
+func (r *Runtime) Exec(peer int, fn func()) bool {
+	if peer < 0 || peer >= r.n || r.boxes[peer] == nil {
+		return false
+	}
+	return r.boxes[peer].Post(fn)
+}
+
+// Shutdown closes every local socket (unblocking the receive loops), stops
+// mailbox intake, drains queued work, and joins all goroutines. Afterwards
+// local peer state may be inspected from the caller's goroutine.
+func (r *Runtime) Shutdown() {
+	if r.closed.Swap(true) {
+		return
+	}
+	for _, p := range r.local {
+		r.conns[p].Close()
+	}
+	for _, p := range r.local {
+		r.boxes[p].Close()
+	}
+	r.wg.Wait()
+}
+
+// Stats returns cumulative transport counters: datagrams sent, messages
+// delivered into mailboxes, and messages dropped (down peers, decode
+// failures, closed mailboxes, oversized frames).
+func (r *Runtime) Stats() (sent, delivered, dropped uint64) {
+	return r.sent.Load(), r.delivered.Load(), r.dropped.Load()
+}
+
+// --- runtime.Transport ---
+
+// Handle registers a peer's delivery handler. Handlers registered for
+// non-local peers are kept but never invoked in this process.
+func (r *Runtime) Handle(peer int, h runtime.Handler) {
+	r.hmu.Lock()
+	r.hands[peer] = h
+	r.hmu.Unlock()
+}
+
+// SetDown gates a peer locally: a down local peer neither sends nor
+// receives; marking a remote peer down stops this process from sending to
+// it. Other processes keep their own view — a real deployment has no
+// global kill switch.
+func (r *Runtime) SetDown(peer int, down bool) { r.down[peer].Store(down) }
+
+// Down reports this process's view of a peer's gate.
+func (r *Runtime) Down(peer int) bool { return r.down[peer].Load() }
+
+// Latency returns the measured one-way latency (smoothed RTT/2) between
+// the pair when either side is local and has a measurement, and
+// DefaultLatency otherwise. Measurements accumulate passively from message
+// echoes and actively from ProbeAll.
+func (r *Runtime) Latency(a, b int) time.Duration {
+	if d, ok := r.Measured(a, b); ok {
+		return d
+	}
+	return r.opt.DefaultLatency
+}
+
+// Measured returns the smoothed one-way latency for a pair, if this
+// process has measured it from either end.
+func (r *Runtime) Measured(a, b int) (time.Duration, bool) {
+	if a < 0 || b < 0 || a >= r.n || b >= r.n {
+		return 0, false
+	}
+	for _, pair := range [2][2]int{{a, b}, {b, a}} {
+		l, rem := pair[0], pair[1]
+		if !r.isLocal[l] {
+			continue
+		}
+		r.peerMu[l].Lock()
+		rtt, ok := r.rtt[l][rem]
+		r.peerMu[l].Unlock()
+		if ok {
+			return rtt / 2, true
+		}
+	}
+	return 0, false
+}
+
+// Send encodes the frame header, appends the message's wire bytes, and
+// writes one UDP datagram from the sending peer's socket. The payload is
+// normally the runtime.Frame the fabric built (its Bytes go on the wire
+// unchanged — the message was encoded exactly once); any other payload is
+// encoded here, so tests can Send bare messages.
+func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any) bool {
+	if from == to || from < 0 || from >= r.n || to < 0 || to >= r.n || !r.isLocal[from] {
+		return false
+	}
+	if r.closed.Load() || r.down[from].Load() || r.down[to].Load() {
+		return false
+	}
+	var body []byte
+	switch p := payload.(type) {
+	case *runtime.Frame:
+		body = p.Bytes
+	default:
+		var w wire.Buffer
+		if err := wire.EncodeMessage(&w, payload); err != nil {
+			r.dropped.Add(1)
+			return false
+		}
+		body = w.Bytes()
+	}
+
+	var w wire.Buffer
+	w.PutByte(frameMsg)
+	w.PutUvarint(uint64(from))
+	w.PutUvarint(uint64(to))
+	w.PutVarint(stampNow(r.start)) // transmit stamp
+	echoStamp, hold := r.takeEcho(from, to)
+	w.PutVarint(echoStamp)
+	w.PutVarint(hold)
+	w.PutByte(byte(class))
+	w.PutRaw(body)
+	if w.Len() > maxDatagram {
+		r.dropped.Add(1)
+		return false
+	}
+	if _, err := r.conns[from].WriteToUDP(w.Bytes(), r.addrs[to]); err != nil {
+		r.dropped.Add(1)
+		return false
+	}
+	r.sent.Add(1)
+	return true
+}
+
+// takeEcho returns the newest transmit stamp received from `to` at local
+// peer `from`, plus how long ago it arrived — the passive RTT echo.
+func (r *Runtime) takeEcho(from, to int) (stamp, hold int64) {
+	r.peerMu[from].Lock()
+	defer r.peerMu[from].Unlock()
+	e, ok := r.echo[from][to]
+	if !ok {
+		return 0, 0
+	}
+	return e.stamp, int64(time.Since(e.at))
+}
+
+// noteRTT folds one RTT sample for (local, remote) into the EWMA.
+func (r *Runtime) noteRTT(local, remote int, sample time.Duration) {
+	if sample < 0 {
+		return
+	}
+	r.peerMu[local].Lock()
+	if old, ok := r.rtt[local][remote]; ok {
+		a := r.opt.RTTAlpha
+		r.rtt[local][remote] = time.Duration((1-a)*float64(old) + a*float64(sample))
+	} else {
+		r.rtt[local][remote] = sample
+	}
+	r.peerMu[local].Unlock()
+}
+
+// recvLoop reads datagrams for one local peer until its socket closes.
+func (r *Runtime) recvLoop(peer int) {
+	defer r.wg.Done()
+	buf := make([]byte, 1<<16)
+	conn := r.conns[peer]
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed by Shutdown
+		}
+		r.handleFrame(peer, buf[:n])
+	}
+}
+
+// handleFrame parses one datagram addressed to a local peer. Decoding runs
+// on the receive goroutine; only the decoded message enters the mailbox,
+// so nothing retains the read buffer.
+func (r *Runtime) handleFrame(peer int, b []byte) {
+	rd := wire.NewReader(b)
+	kind, err := rd.Byte()
+	if err != nil {
+		return
+	}
+	srcU, err := rd.Uvarint()
+	if err != nil || srcU >= uint64(r.n) {
+		return
+	}
+	dstU, err := rd.Uvarint()
+	if err != nil || int(dstU) != peer {
+		return // misrouted or stale directory entry
+	}
+	src := int(srcU)
+	now := time.Since(r.start)
+
+	switch kind {
+	case framePing:
+		stamp, err := rd.Varint()
+		if err != nil || r.down[peer].Load() {
+			return
+		}
+		var w wire.Buffer
+		w.PutByte(framePong)
+		w.PutUvarint(uint64(peer))
+		w.PutUvarint(srcU)
+		w.PutVarint(stamp)
+		w.PutVarint(0) // replied immediately: no hold
+		_, _ = r.conns[peer].WriteToUDP(w.Bytes(), r.addrs[src])
+
+	case framePong:
+		stamp, err := rd.Varint()
+		if err != nil {
+			return
+		}
+		hold, err := rd.Varint()
+		if err != nil {
+			return
+		}
+		r.noteRTT(peer, src, now-time.Duration(stamp)-time.Duration(hold))
+
+	case frameMsg:
+		stamp, err := rd.Varint()
+		if err != nil {
+			return
+		}
+		echoStamp, err := rd.Varint()
+		if err != nil {
+			return
+		}
+		hold, err := rd.Varint()
+		if err != nil {
+			return
+		}
+		if _, err := rd.Byte(); err != nil { // class: accounted by the sender
+			return
+		}
+		if r.down[peer].Load() {
+			r.dropped.Add(1)
+			return
+		}
+		r.peerMu[peer].Lock()
+		r.echo[peer][src] = echoState{stamp: stamp, at: time.Now()}
+		r.peerMu[peer].Unlock()
+		if echoStamp != 0 {
+			r.noteRTT(peer, src, now-time.Duration(echoStamp)-time.Duration(hold))
+		}
+		frame := rd.Rest()
+		msg, err := wire.DecodeMessage(frame)
+		if err != nil {
+			r.dropped.Add(1)
+			return
+		}
+		if env, ok := msg.(*wire.Envelope); ok {
+			// The envelope's SentAt was stamped against the sender's clock
+			// base, which a different process does not share. Rewrite it in
+			// the receiver's frame using the transport's measured one-way
+			// flight time — the peer derives exactly that from it (UdpCC
+			// measures RTT/2 at the transport, not via host timestamps).
+			flight := r.opt.DefaultLatency
+			if d, ok := r.Measured(peer, src); ok {
+				flight = d
+			}
+			env.SentAt = now - flight
+		}
+		r.hmu.RLock()
+		h := r.hands[peer]
+		r.hmu.RUnlock()
+		if h == nil {
+			r.dropped.Add(1)
+			return
+		}
+		// Report the wire-frame length, not the datagram's: it is the size
+		// the sending fabric charged, so accounting agrees across backends.
+		size := len(frame)
+		if r.boxes[peer].Post(func() { h(src, msg, size) }) {
+			r.delivered.Add(1)
+		} else {
+			r.dropped.Add(1)
+		}
+	}
+}
+
+// --- probing ---
+
+// stampNow returns a transmit timestamp that is never 0, since 0 is the
+// "no echo" sentinel in the frame header.
+func stampNow(start time.Time) int64 {
+	if s := int64(time.Since(start)); s != 0 {
+		return s
+	}
+	return 1
+}
+
+// sendPing writes one RTT probe from a local peer.
+func (r *Runtime) sendPing(from, to int) {
+	var w wire.Buffer
+	w.PutByte(framePing)
+	w.PutUvarint(uint64(from))
+	w.PutUvarint(uint64(to))
+	w.PutVarint(stampNow(r.start))
+	_, _ = r.conns[from].WriteToUDP(w.Bytes(), r.addrs[to])
+}
+
+// ProbeAll primes the RTT table: every local peer pings every other peer,
+// rounds times, sleeping wait between rounds for the pongs to land. Run it
+// before planning so Latency answers from measurement instead of the
+// default (the prototype let Vivaldi run "for at least ten rounds before
+// interconnecting operators").
+func (r *Runtime) ProbeAll(rounds int, wait time.Duration) {
+	for k := 0; k < rounds; k++ {
+		if r.closed.Load() {
+			return
+		}
+		for _, p := range r.local {
+			for q := 0; q < r.n; q++ {
+				if q != p {
+					r.sendPing(p, q)
+				}
+			}
+		}
+		time.Sleep(wait)
+	}
+}

@@ -1,0 +1,297 @@
+package netrt_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/mortar"
+	"repro/internal/msl"
+	"repro/internal/runtime"
+	"repro/internal/runtime/livert"
+	"repro/internal/runtime/netrt"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// Messages must cross real loopback sockets: a bare message Sent from one
+// peer arrives at another decoded, with the datagram length as its size.
+func TestLoopbackSendReceive(t *testing.T) {
+	rts, dir, err := netrt.NewGroup([][]int{{0, 1}}, netrt.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := rts[0]
+	defer rt.Shutdown()
+	if len(dir) != 2 || rt.NumPeers() != 2 || !rt.Local(0) || !rt.Local(1) {
+		t.Fatalf("group shape wrong: dir=%v local0=%v local1=%v", dir, rt.Local(0), rt.Local(1))
+	}
+
+	var mu sync.Mutex
+	var got []any
+	var sizes []int
+	rt.Handle(1, func(from int, payload any, size int) {
+		mu.Lock()
+		got = append(got, payload)
+		sizes = append(sizes, size)
+		mu.Unlock()
+	})
+	if !rt.Send(0, 1, runtime.ClassControl, 0, wire.Heartbeat{Seq: 7, Hash: 99}) {
+		t.Fatal("send refused")
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+	mu.Lock()
+	hb, ok := got[0].(wire.Heartbeat)
+	if !ok || hb.Seq != 7 || hb.Hash != 99 {
+		t.Fatalf("received %#v", got[0])
+	}
+	if sizes[0] <= 0 {
+		t.Fatalf("size %d", sizes[0])
+	}
+	mu.Unlock()
+
+	// A fabric-style Frame payload transmits its pre-encoded bytes.
+	env := &wire.Envelope{S: tuple.Summary{Query: "q", Value: float64(3), Count: 1, Levels: []int16{0}}}
+	var w wire.Buffer
+	if err := wire.EncodeMessage(&w, env); err != nil {
+		t.Fatal(err)
+	}
+	rt.Send(0, 1, runtime.ClassData, w.Len(), &runtime.Frame{Payload: env, Bytes: w.Bytes()})
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 2
+	})
+	mu.Lock()
+	got2, ok := got[1].(*wire.Envelope)
+	mu.Unlock()
+	if !ok || got2.S.Query != "q" || got2.S.Value.(float64) != 3 {
+		t.Fatalf("envelope arrived as %#v", got[1])
+	}
+}
+
+// SetDown must gate both directions locally, and Shutdown must be clean
+// and idempotent.
+func TestDownAndShutdown(t *testing.T) {
+	rts, _, err := netrt.NewGroup([][]int{{0, 1}}, netrt.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := rts[0]
+	var delivered sync.Map
+	rt.Handle(1, func(from int, payload any, size int) { delivered.Store(time.Now(), payload) })
+
+	rt.SetDown(1, true)
+	if !rt.Down(1) {
+		t.Fatal("down flag lost")
+	}
+	if rt.Send(0, 1, runtime.ClassData, 0, wire.Heartbeat{Seq: 1}) {
+		t.Fatal("send to down peer accepted")
+	}
+	rt.SetDown(0, true)
+	rt.SetDown(1, false)
+	if rt.Send(0, 1, runtime.ClassData, 0, wire.Heartbeat{Seq: 2}) {
+		t.Fatal("send from down peer accepted")
+	}
+	rt.SetDown(0, false)
+	rt.Shutdown()
+	if rt.Send(0, 1, runtime.ClassData, 0, wire.Heartbeat{Seq: 3}) {
+		t.Fatal("send accepted after shutdown")
+	}
+	if rt.Exec(0, func() {}) {
+		t.Fatal("Exec accepted after shutdown")
+	}
+	rt.Shutdown() // idempotent
+}
+
+// ProbeAll must produce measured RTTs across runtimes (the directory pairs
+// a coordinator can feed to Vivaldi), and message echoes must measure
+// passively once traffic flows both ways.
+func TestRTTMeasurement(t *testing.T) {
+	rts, _, err := netrt.NewGroup([][]int{{0}, {1}}, netrt.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rts[0], rts[1]
+	defer a.Shutdown()
+	defer b.Shutdown()
+
+	if _, ok := a.Measured(0, 1); ok {
+		t.Fatal("measurement before any traffic")
+	}
+	if a.Latency(0, 1) != time.Millisecond {
+		t.Fatalf("default latency = %v", a.Latency(0, 1))
+	}
+	a.ProbeAll(3, 20*time.Millisecond)
+	d, ok := a.Measured(0, 1)
+	if !ok {
+		t.Fatal("ProbeAll produced no measurement")
+	}
+	if d <= 0 || d > 100*time.Millisecond {
+		t.Fatalf("implausible loopback latency %v", d)
+	}
+	if a.Latency(0, 1) != d || a.Latency(1, 0) != d {
+		t.Fatalf("Latency does not serve the measurement: %v vs %v", a.Latency(0, 1), d)
+	}
+
+	// Passive echo: traffic b->a then a->b gives b a measurement too.
+	b.Handle(1, func(int, any, int) {})
+	a.Handle(0, func(int, any, int) {})
+	for i := 0; i < 5; i++ {
+		b.Send(1, 0, runtime.ClassControl, 0, wire.Heartbeat{Seq: uint64(i + 1)})
+		time.Sleep(5 * time.Millisecond)
+		a.Send(0, 1, runtime.ClassControl, 0, wire.Heartbeat{Seq: uint64(i + 1)})
+		time.Sleep(5 * time.Millisecond)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		_, ok := b.Measured(1, 0)
+		return ok
+	})
+}
+
+// The acceptance test: several netrt runtimes in one process — each
+// hosting a peer range, every message crossing the kernel's UDP stack on
+// loopback — run the default MSL count query end to end. The coordinator
+// process plans and installs; the workers' operators arrive over the wire.
+// Result completeness must reach the live-node count and match a livert
+// run of the same program.
+func TestNetFederationMatchesLive(t *testing.T) {
+	const peers = 12
+	prog, err := msl.Parse("query peers as count() from sensors window time 1s slide 1s trees 4 bf 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(feds []*federation.Federation, shutdown func()) int {
+		var mu sync.Mutex
+		best := 0
+		feds[0].Fab.SubscribeAll(func(r mortar.Result) {
+			mu.Lock()
+			if r.Count > best {
+				best = r.Count
+			}
+			mu.Unlock()
+		})
+		for i, fed := range feds {
+			fed.StartSensors(500*time.Millisecond, func(peer int) tuple.Raw {
+				return tuple.Raw{Vals: []float64{1}}
+			}, rand.New(rand.NewSource(int64(100+i))))
+		}
+		deadline := time.Now().Add(12 * time.Second)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			b := best
+			mu.Unlock()
+			if b == peers {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		shutdown()
+		mu.Lock()
+		defer mu.Unlock()
+		return best
+	}
+
+	// --- netrt: three "processes" over loopback UDP ---
+	rts, _, err := netrt.NewGroup([][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}, netrt.Options{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers first: their handlers must exist before the coordinator's
+	// install multicast lands.
+	w1, err := federation.NewWorker(rts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := federation.NewWorker(rts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts[0].ProbeAll(3, 20*time.Millisecond) // latency-aware planning input
+	coord, err := federation.NewRuntime(rts[0], prog, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netBest := run([]*federation.Federation{coord, w1, w2}, func() {
+		for _, rt := range rts {
+			rt.Shutdown()
+		}
+	})
+	sent, delivered, _ := rts[1].Stats()
+	if sent == 0 || delivered == 0 {
+		t.Fatalf("worker runtime moved no datagrams: sent=%d delivered=%d", sent, delivered)
+	}
+
+	// --- livert: the same program in-process ---
+	lrt := livert.New(peers, livert.Options{Seed: 42, MinDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond})
+	lfed, err := federation.NewRuntime(lrt, prog, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveBest := run([]*federation.Federation{lfed}, lrt.Shutdown)
+
+	if liveBest != peers {
+		t.Fatalf("livert run reached completeness %d of %d", liveBest, peers)
+	}
+	if netBest != liveBest {
+		t.Fatalf("netrt completeness %d != livert completeness %d", netBest, liveBest)
+	}
+}
+
+// Worker peers adopted over the wire must end up installed and wired: the
+// install multicast and the topology service both work across sockets.
+func TestInstallCrossesSockets(t *testing.T) {
+	const peers = 6
+	rts, _, err := netrt.NewGroup([][]int{{0, 1, 2}, {3, 4, 5}}, netrt.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := federation.NewWorker(rts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := msl.Parse("query peers as sum() from sensors window time 500ms slide 500ms trees 2 bf 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := federation.NewRuntime(rts[0], prog, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the install multicast (and a topology fetch, if a chunk was
+	// lost) time to land; peer-state inspection is quiescent-only, so the
+	// checks run after shutdown.
+	time.Sleep(2 * time.Second)
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	// Post-shutdown state inspection is safe.
+	if got := coord.Fab.InstalledCount("peers"); got != 3 {
+		t.Fatalf("coordinator hosts %d of its 3 peers' operators", got)
+	}
+	if got := worker.Fab.InstalledCount("peers"); got != 3 {
+		t.Fatalf("worker hosts %d of its 3 peers' operators", got)
+	}
+	if got := worker.Fab.WiredCount("peers"); got != 3 {
+		t.Fatalf("worker wired %d of its 3 operators", got)
+	}
+}

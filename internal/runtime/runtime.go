@@ -74,6 +74,37 @@ type Clock interface {
 // peer's index, or negative when the sender is unknown.
 type Handler func(from int, payload any, size int)
 
+// Frame pairs a message's decoded form with its wire encoding. The sender
+// encodes each message exactly once; in-process transports pass the Frame
+// through (receivers use Payload), while socket transports (runtime/netrt)
+// transmit Bytes verbatim and deliver the re-decoded payload on the far
+// side. Size accounting always uses len(Bytes), so the emulator's network
+// load numbers match what a deployed system would put on the wire.
+type Frame struct {
+	Payload any
+	Bytes   []byte
+}
+
+// Locality is implemented by runtimes that host only a subset of the
+// federation's peers — a netrt process hosting a peer range. Exec, Clock
+// callbacks, and message receipt work only for local peers; drivers use
+// Local to scope per-peer work (sensor injection, failure control) to the
+// peers this process owns. Runtimes that do not implement Locality host
+// every peer.
+type Locality interface {
+	// Local reports whether the peer runs in this process.
+	Local(peer int) bool
+}
+
+// IsLocal reports whether a peer is hosted by this runtime process: true
+// unless the runtime implements Locality and disowns the peer.
+func IsLocal(rt Runtime, peer int) bool {
+	if l, ok := rt.(Locality); ok {
+		return l.Local(peer)
+	}
+	return true
+}
+
 // Transport moves messages between peers, addressed by federation index.
 // Delivery is best-effort (messages may be lost, delayed, or — on some
 // backends — duplicated) but always serialized per receiving peer: a peer's

@@ -76,19 +76,3 @@ func DecodeSummary(r *Reader) (s tuple.Summary, ttlDown uint8, err error) {
 	r.off++
 	return
 }
-
-// SummarySize returns the wire size of a summary for a query striped over
-// the given number of trees.
-func SummarySize(s tuple.Summary, trees int) int {
-	if s.Levels == nil {
-		s.Levels = make([]int16, trees)
-	}
-	var w Buffer
-	_ = EncodeSummary(&w, s, 0)
-	return w.Len()
-}
-
-// HeartbeatSize is the wire size of a heartbeat message: sender id, a
-// sequence number, and the reconciliation summary hash it piggybacks every
-// few beats (amortized).
-func HeartbeatSize() int { return 24 }

@@ -61,6 +61,12 @@ func (w *Buffer) PutBytes(p []byte) {
 	w.b = append(w.b, p...)
 }
 
+// PutByte appends a single raw byte.
+func (w *Buffer) PutByte(b byte) { w.b = append(w.b, b) }
+
+// PutRaw appends raw bytes without a length prefix (framing headers).
+func (w *Buffer) PutRaw(p []byte) { w.b = append(w.b, p...) }
+
 // PutBool appends a boolean.
 func (w *Buffer) PutBool(v bool) {
 	if v {
@@ -139,6 +145,24 @@ func (r *Reader) Bytes() ([]byte, error) {
 	copy(p, r.b[r.off:])
 	r.off += int(n)
 	return p, nil
+}
+
+// Byte reads a single raw byte.
+func (r *Reader) Byte() (byte, error) {
+	if r.Remaining() < 1 {
+		return 0, ErrCorrupt
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+// Rest returns the unread remainder of the buffer without copying; the
+// reader is advanced past it.
+func (r *Reader) Rest() []byte {
+	p := r.b[r.off:]
+	r.off = len(r.b)
+	return p
 }
 
 // Bool reads a boolean.
@@ -326,7 +350,7 @@ func (r *Reader) Value() (any, error) {
 		}
 		return c, nil
 	default:
-		return nil, fmt.Errorf("wire: unknown value kind %d", kind)
+		return nil, fmt.Errorf("wire: unknown value kind %d: %w", kind, ErrCorrupt)
 	}
 }
 

@@ -133,13 +133,13 @@ func TestSummaryRoundTrip(t *testing.T) {
 }
 
 func TestSummarySizeReasonable(t *testing.T) {
-	s := tuple.Summary{Query: "q", Value: float64(1), Count: 1}
-	sz := SummarySize(s, 4)
-	if sz < 10 || sz > 200 {
-		t.Fatalf("summary size = %d, implausible", sz)
+	s := tuple.Summary{Query: "q", Value: float64(1), Count: 1, Levels: make([]int16, 4)}
+	var w Buffer
+	if err := EncodeSummary(&w, s, 0); err != nil {
+		t.Fatal(err)
 	}
-	if HeartbeatSize() <= 0 {
-		t.Fatal("heartbeat size must be positive")
+	if sz := w.Len(); sz < 10 || sz > 200 {
+		t.Fatalf("summary size = %d, implausible", sz)
 	}
 }
 
