@@ -190,7 +190,7 @@ func BenchmarkAblationSiblings(b *testing.B) {
 	topo := netem.GenerateTransitStub(netem.PaperTopology(179), rng)
 	net := netem.New(sim, topo)
 	hosts := topo.Hosts()
-	oneWay := func(x, y int) time.Duration { return net.Latency(hosts[x], hosts[y]) }
+	oneWay := plan.LatencyFunc(func(x, y int) time.Duration { return net.Latency(hosts[x], hosts[y]) })
 	pts := randomPoints(179, rng)
 	for i := 0; i < b.N; i++ {
 		var derived, random float64

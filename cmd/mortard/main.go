@@ -11,11 +11,15 @@
 //     from the shared peers file (one host:port per line, line i = peer i)
 //     and all traffic crosses the wire as internal/wire datagrams. Each
 //     process hosts the peer range given by -host. The process hosting
-//     peer 0 is the coordinator: it measures RTTs, plans the queries, and
-//     runs the install multicast; worker processes receive their operators
-//     over the network. With -listen the coordinator waits until joining
-//     workers cover the whole federation before planning; workers -join
-//     the coordinator and run until it hangs up.
+//     peer 0 is the coordinator: it learns pair latencies, plans the
+//     queries, and runs the install multicast; worker processes receive
+//     their operators over the network. With -listen the coordinator waits
+//     until joining workers cover the whole federation before planning;
+//     workers -join the coordinator and run until it hangs up. With
+//     -vivaldi every process runs decentralized Vivaldi: coordinates
+//     spread on probe gossip and heartbeat piggybacks, the coordinator
+//     plans from the gossiped embedding (no coordinator-local probing),
+//     and convergence is logged.
 //
 // Usage:
 //
@@ -25,17 +29,15 @@
 //
 //	# one federation, two processes, via UDP on a shared peers file:
 //	mortard -peers-file peers.txt -host 8-15 -join 127.0.0.1:9000
-//	mortard -peers-file peers.txt -host 0-7 -listen 127.0.0.1:9000 -duration 10s
+//	mortard -peers-file peers.txt -host 0-7 -listen 127.0.0.1:9000 -vivaldi -duration 10s
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/eventsim"
@@ -61,6 +63,7 @@ func main() {
 		host     = flag.String("host", "", "UDP mode: peer range this process hosts, e.g. 0-15")
 		listen   = flag.String("listen", "", "UDP mode, coordinator: TCP address to accept worker joins on")
 		join     = flag.String("join", "", "UDP mode, worker: coordinator TCP address to join")
+		vivaldiM = flag.Bool("vivaldi", false, "UDP mode: run decentralized Vivaldi — every process gossips coordinates, the coordinator plans from them (no coordinator-local probing) and logs convergence")
 	)
 	flag.Parse()
 
@@ -79,7 +82,7 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	if *peersFil != "" {
-		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration, *seed)
+		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration, *seed, *vivaldiM)
 		return
 	}
 	if *live {
@@ -157,8 +160,11 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 
 // runNet executes the program across separate processes over UDP: this
 // process binds sockets for the peers in hostSpec and either coordinates
-// (hosts peer 0) or works until the coordinator hangs up.
-func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, seed int64) {
+// (hosts peer 0) or works until the coordinator hangs up. With vivaldiOn,
+// every process runs decentralized Vivaldi: coordinates spread on probe
+// gossip and heartbeats, and the coordinator plans from the gossiped
+// embedding instead of its own probes.
+func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, seed int64, vivaldiOn bool) {
 	dir, err := netrt.LoadDirectory(peersFile)
 	if err != nil {
 		fatal(err)
@@ -177,14 +183,14 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	defer rt.Shutdown()
 
 	if !rt.Local(0) {
-		runNetWorker(rt, join, duration)
+		runNetWorker(rt, join, duration, vivaldiOn)
 		return
 	}
 
-	// Coordinator: wait for workers, measure, plan, install, run.
+	// Coordinator: wait for workers, learn latencies, plan, install, run.
 	var workers []net.Conn
 	if listen != "" {
-		workers, err = awaitWorkers(listen, local, len(dir))
+		workers, err = netrt.AwaitWorkers(listen, local, len(dir), 2*time.Minute)
 		if err != nil {
 			fatal(err)
 		}
@@ -194,11 +200,26 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 			}
 		}()
 	}
-	fmt.Printf("# coordinator hosting %d of %d peers; probing RTTs\n", len(local), len(dir))
-	rt.ProbeAll(5, 100*time.Millisecond)
+	if vivaldiOn {
+		// The paper let Vivaldi run "for at least ten rounds before
+		// interconnecting operators"; log convergence as the embedding
+		// settles against the RTTs measured under the gossip.
+		fmt.Printf("# coordinator hosting %d of %d peers; gossiping Vivaldi coordinates\n", len(local), len(dir))
+		for round := 1; round <= 10; round++ {
+			rt.Gossip(1, 0, 100*time.Millisecond)
+			med, pairs := rt.CoordError()
+			fmt.Printf("# vivaldi round %d: median |coord dist - measured| = %.3fms over %d pairs\n", round, med, pairs)
+		}
+	} else {
+		fmt.Printf("# coordinator hosting %d of %d peers; probing RTTs\n", len(local), len(dir))
+		rt.ProbeAll(5, 100*time.Millisecond)
+	}
 	fed, err := federation.NewRuntime(rt, prog, rng)
 	if err != nil {
 		fatal(err)
+	}
+	if vivaldiOn {
+		fmt.Printf("# planned from gossiped coordinates: %v\n", fed.PlannedFromCoords)
 	}
 	fed.PrintResults(os.Stdout)
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
@@ -208,14 +229,23 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	rt.Shutdown()
 	sent, delivered, dropped := rt.Stats()
 	fmt.Printf("# udp transport: sent=%d delivered=%d dropped=%d\n", sent, delivered, dropped)
+	if vivaldiOn {
+		med, pairs := rt.CoordError()
+		fmt.Printf("# vivaldi final: median |coord dist - measured| = %.3fms over %d pairs\n", med, pairs)
+	}
 }
 
 // runNetWorker hosts a peer range: sensors feed the local peers, operators
-// arrive over the network via install multicast and reconciliation.
-func runNetWorker(rt *netrt.Runtime, join string, duration time.Duration) {
+// arrive over the network via install multicast and reconciliation. Under
+// -vivaldi the worker keeps gossiping its coordinate in the background so
+// the federation's embedding tracks the network for the whole run.
+func runNetWorker(rt *netrt.Runtime, join string, duration time.Duration, vivaldiOn bool) {
 	fed, err := federation.NewWorker(rt)
 	if err != nil {
 		fatal(err)
+	}
+	if vivaldiOn {
+		go rt.Gossip(int(duration/(500*time.Millisecond))+10, 3, 500*time.Millisecond)
 	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
@@ -227,81 +257,11 @@ func runNetWorker(rt *netrt.Runtime, join string, duration time.Duration) {
 		time.Sleep(duration)
 		return
 	}
-	// The coordinator may start after its workers; retry the join dial.
-	var conn net.Conn
-	for deadline := time.Now().Add(30 * time.Second); ; {
-		conn, err = net.Dial("tcp", join)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			fatal(err)
-		}
-		time.Sleep(250 * time.Millisecond)
-	}
-	fmt.Fprintf(conn, "JOIN %d-%d\n", locals[0], locals[len(locals)-1])
-	// Block until the coordinator hangs up (end of run) or duration as a
-	// fallback if it never does.
-	done := make(chan struct{})
-	go func() {
-		_, _ = bufio.NewReader(conn).ReadString('\n')
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(duration + time.Minute):
-	}
-	conn.Close()
-}
-
-// awaitWorkers accepts JOIN lines on a TCP listener until the local range
-// plus the joined ranges cover every peer in the directory. The accepted
-// connections stay open; closing them signals the end of the run.
-func awaitWorkers(listen string, local []int, n int) ([]net.Conn, error) {
-	covered := make([]bool, n)
-	remaining := n
-	for _, p := range local {
-		covered[p] = true
-		remaining--
-	}
-	if remaining == 0 {
-		return nil, nil
-	}
-	l, err := net.Listen("tcp", listen)
+	conn, err := netrt.JoinBarrier(join, locals, 30*time.Second)
 	if err != nil {
-		return nil, err
+		fatal(err)
 	}
-	defer l.Close()
-	fmt.Printf("# waiting for workers to cover %d peers on %s\n", remaining, listen)
-	var conns []net.Conn
-	for remaining > 0 {
-		c, err := l.Accept()
-		if err != nil {
-			return conns, err
-		}
-		line, err := bufio.NewReader(c).ReadString('\n')
-		if err != nil {
-			c.Close()
-			continue
-		}
-		spec, ok := strings.CutPrefix(strings.TrimSpace(line), "JOIN ")
-		if !ok {
-			c.Close()
-			continue
-		}
-		peersRange, err := netrt.ParseRange(spec, n)
-		if err != nil {
-			c.Close()
-			continue
-		}
-		for _, p := range peersRange {
-			if !covered[p] {
-				covered[p] = true
-				remaining--
-			}
-		}
-		conns = append(conns, c)
-		fmt.Printf("# worker joined with %s; %d peers still uncovered\n", spec, remaining)
-	}
-	return conns, nil
+	// Block until the coordinator hangs up (end of run), with a fallback
+	// in case it never does.
+	netrt.WaitHangup(conn, duration+time.Minute)
 }

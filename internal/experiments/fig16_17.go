@@ -119,7 +119,7 @@ func Figure17(opt Options) *Table {
 	net := netem.New(sim, topo)
 	hostIDs := topo.Hosts()
 	coords := vivaldiCoords(net, rng)
-	oneWay := func(a, b int) time.Duration { return net.Latency(hostIDs[a], hostIDs[b]) }
+	oneWay := plan.LatencyFunc(func(a, b int) time.Duration { return net.Latency(hostIDs[a], hostIDs[b]) })
 
 	t := &Table{
 		Title:   "Figure 17: avg 90th-percentile peer-to-root latency (ms) vs branching factor",

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mortar"
 	"repro/internal/msl"
 	"repro/internal/netem"
+	"repro/internal/plan"
 	"repro/internal/runtime"
 	"repro/internal/runtime/simrt"
 	"repro/internal/tuple"
@@ -35,6 +36,17 @@ const (
 	DefaultBF    = 16
 )
 
+// CoordSource is implemented by runtimes whose peers gossip Vivaldi
+// coordinates (runtime/netrt): Coordinates reports this process's view of
+// every peer's coordinate and error estimate, with known[i] false where
+// nothing has been gossiped yet. When the whole federation is covered,
+// planning consumes the gossiped coordinates directly — worker processes
+// embedded themselves from their own measurements, so pair latencies the
+// coordinator never probed are still priced correctly.
+type CoordSource interface {
+	Coordinates() (coords []vivaldi.Coordinate, errs []float64, known []bool)
+}
+
 // Federation is a running set of queries over a node set.
 type Federation struct {
 	Fab  *mortar.Fabric
@@ -43,6 +55,14 @@ type Federation struct {
 	// Sim is the driving simulator; nil when the federation runs on a
 	// non-simulated backend (use the backend's own lifecycle then).
 	Sim *eventsim.Sim
+	// Model is the latency view the queries were planned against:
+	// coordinate distance when planning used gossiped coordinates,
+	// measured transport latency otherwise.
+	Model plan.LatencyModel
+	// PlannedFromCoords reports whether planning consumed gossiped Vivaldi
+	// coordinates (a CoordSource runtime with full coverage) instead of
+	// running a coordinator-local embedding over Transport.Latency.
+	PlannedFromCoords bool
 
 	defs map[string]*mortar.QueryDef
 	down []int
@@ -72,14 +92,24 @@ func NewRuntime(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand) (*Federat
 	f := &Federation{Fab: fab, Prog: prog, Rt: rt, defs: map[string]*mortar.QueryDef{}}
 
 	// Network coordinates for planning, as the prototype sources them from
-	// Vivaldi (§3.1). Latencies come from the runtime's transport.
+	// Vivaldi (§3.1). On a runtime whose peers gossip coordinates (netrt)
+	// the decentralized embedding is consumed directly; otherwise a
+	// coordinator-local embedding is computed over the transport's latency
+	// oracle, which only prices pairs this process can measure.
 	n := rt.NumPeers()
 	tr := rt.Transport()
-	sys := vivaldi.NewSystem(n, vivaldi.DefaultConfig(), rng)
-	sys.Run(10, 8, func(i, j int) time.Duration { return tr.Latency(i, j) })
-	coords := make([]cluster.Point, n)
-	for i, c := range sys.Coordinates() {
-		coords[i] = cluster.Point(c)
+	coords := gossipedCoords(rt, n)
+	if coords != nil {
+		f.PlannedFromCoords = true
+		f.Model = plan.CoordModel{Coords: coords}
+	} else {
+		sys := vivaldi.NewSystem(n, vivaldi.DefaultConfig(), rng)
+		sys.Run(10, 8, func(i, j int) time.Duration { return tr.Latency(i, j) })
+		coords = make([]cluster.Point, n)
+		for i, c := range sys.Coordinates() {
+			coords[i] = cluster.Point(c)
+		}
+		f.Model = plan.LatencyFunc(tr.Latency)
 	}
 
 	now := rt.Clock(0).Now()
@@ -121,6 +151,27 @@ func NewRuntime(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand) (*Federat
 		}
 	}
 	return f, nil
+}
+
+// gossipedCoords returns planning points from the runtime's gossiped
+// Vivaldi coordinates, or nil when the runtime is not a CoordSource or
+// some peer has not gossiped yet (planning then falls back to the local
+// embedding — a partially covered coordinate set would place the unheard
+// peers at arbitrary positions).
+func gossipedCoords(rt runtime.Runtime, n int) []cluster.Point {
+	cs, ok := rt.(CoordSource)
+	if !ok {
+		return nil
+	}
+	cc, _, known := cs.Coordinates()
+	out := make([]cluster.Point, n)
+	for i := 0; i < n; i++ {
+		if i >= len(cc) || !known[i] {
+			return nil
+		}
+		out[i] = cluster.Point(cc[i])
+	}
+	return out
 }
 
 // NewWorker builds a fabric over a runtime that hosts a subset of the

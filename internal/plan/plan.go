@@ -12,11 +12,52 @@ package plan
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/cluster"
 )
+
+// LatencyModel is the planner's view of the network: an estimate of the
+// one-way latency between any two peers. Two families back it — measured
+// RTTs from a transport (LatencyFunc over Transport.Latency) and gossiped
+// Vivaldi coordinates (CoordModel), which is how worker processes price
+// pairs they cannot measure themselves.
+type LatencyModel interface {
+	// Latency estimates the one-way latency between peers a and b.
+	Latency(a, b int) time.Duration
+}
+
+// LatencyFunc adapts a pair-latency function to a LatencyModel.
+type LatencyFunc func(a, b int) time.Duration
+
+// Latency implements LatencyModel.
+func (f LatencyFunc) Latency(a, b int) time.Duration { return f(a, b) }
+
+// CoordModel is a LatencyModel backed by network coordinates: the
+// predicted latency between two peers is the Euclidean distance between
+// their coordinates, in milliseconds (Vivaldi's embedding unit).
+type CoordModel struct {
+	Coords []cluster.Point
+}
+
+// Latency implements LatencyModel by coordinate distance.
+func (m CoordModel) Latency(a, b int) time.Duration {
+	if a < 0 || b < 0 || a >= len(m.Coords) || b >= len(m.Coords) {
+		return 0
+	}
+	ca, cb := m.Coords[a], m.Coords[b]
+	var s float64
+	for i := range ca {
+		if i >= len(cb) {
+			break
+		}
+		d := ca[i] - cb[i]
+		s += d * d
+	}
+	return time.Duration(math.Sqrt(s) * float64(time.Millisecond))
+}
 
 // Tree is a rooted aggregation tree over peers 0..n-1.
 type Tree struct {
@@ -387,8 +428,9 @@ func UniqueChildren(sets []*Set) []int {
 
 // LatencyToRoot returns, per peer, the summed link latency along the
 // overlay path to the tree root — "the minimum amount of time for a summary
-// tuple from that peer to reach the query root" (Figure 17).
-func LatencyToRoot(t *Tree, oneWay func(a, b int) time.Duration) []time.Duration {
+// tuple from that peer to reach the query root" (Figure 17). The model may
+// be measured latencies (LatencyFunc) or coordinate distance (CoordModel).
+func LatencyToRoot(t *Tree, m LatencyModel) []time.Duration {
 	n := t.NumPeers()
 	out := make([]time.Duration, n)
 	done := make([]bool, n)
@@ -398,7 +440,7 @@ func LatencyToRoot(t *Tree, oneWay func(a, b int) time.Duration) []time.Duration
 		if done[p] {
 			return out[p]
 		}
-		out[p] = resolve(t.Parent[p]) + oneWay(p, t.Parent[p])
+		out[p] = resolve(t.Parent[p]) + m.Latency(p, t.Parent[p])
 		done[p] = true
 		return out[p]
 	}

@@ -184,7 +184,7 @@ func TestUniqueChildrenSharing(t *testing.T) {
 func TestLatencyToRoot(t *testing.T) {
 	// Chain 0 <- 1 <- 2 with unit latencies.
 	tr := newTreeFromParents(0, 2, []int{-1, 0, 1})
-	lat := LatencyToRoot(tr, func(a, b int) time.Duration { return time.Millisecond })
+	lat := LatencyToRoot(tr, LatencyFunc(func(a, b int) time.Duration { return time.Millisecond }))
 	if lat[0] != 0 || lat[1] != time.Millisecond || lat[2] != 2*time.Millisecond {
 		t.Fatalf("latencies = %v", lat)
 	}
@@ -206,8 +206,8 @@ func TestPlannedBeatsRandomOnClusteredTopology(t *testing.T) {
 	for trial := 0; trial < 5; trial++ {
 		pt := BuildPrimary(coords, 0, 8, rng)
 		rt := BuildRandom(n, 0, 8, rng)
-		planned += Percentile(LatencyToRoot(pt, oneWay), 90)
-		random += Percentile(LatencyToRoot(rt, oneWay), 90)
+		planned += Percentile(LatencyToRoot(pt, LatencyFunc(oneWay)), 90)
+		random += Percentile(LatencyToRoot(rt, LatencyFunc(oneWay)), 90)
 	}
 	if planned >= random {
 		t.Fatalf("planned 90th pct (%v) not better than random (%v)", planned/5, random/5)
@@ -252,5 +252,24 @@ func TestPropertyPlannersProduceValidTrees(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// CoordModel prices a pair by coordinate distance in milliseconds, the
+// planner's latency view when coordinates are gossiped instead of measured.
+func TestCoordModelLatency(t *testing.T) {
+	m := CoordModel{Coords: []cluster.Point{{0, 0}, {3, 4}}}
+	if got := m.Latency(0, 1); got != 5*time.Millisecond {
+		t.Fatalf("Latency = %v, want 5ms", got)
+	}
+	if got := m.Latency(1, 0); got != 5*time.Millisecond {
+		t.Fatalf("Latency not symmetric: %v", got)
+	}
+	if got := m.Latency(0, 7); got != 0 {
+		t.Fatalf("out-of-range pair = %v, want 0", got)
+	}
+	lat := LatencyToRoot(newTreeFromParents(0, 2, []int{-1, 0}), m)
+	if lat[1] != 5*time.Millisecond {
+		t.Fatalf("LatencyToRoot over CoordModel = %v", lat)
 	}
 }

@@ -17,6 +17,7 @@ func LoadDirectory(path string) ([]string, error) {
 		return nil, err
 	}
 	var dir []string
+	seen := map[string]int{}
 	for ln, line := range strings.Split(string(b), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
@@ -25,6 +26,12 @@ func LoadDirectory(path string) ([]string, error) {
 		if !strings.Contains(line, ":") {
 			return nil, fmt.Errorf("netrt: peers file %s line %d: %q is not host:port", path, ln+1, line)
 		}
+		// Two peers on one address would steal each other's datagrams (and
+		// the second bind fails anyway); reject the file outright.
+		if first, dup := seen[line]; dup {
+			return nil, fmt.Errorf("netrt: peers file %s line %d: address %q duplicates line %d", path, ln+1, line, first)
+		}
+		seen[line] = ln + 1
 		dir = append(dir, line)
 	}
 	if len(dir) == 0 {

@@ -21,14 +21,17 @@ package netrt
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/runtime"
 	"repro/internal/runtime/actor"
+	"repro/internal/vivaldi"
 	"repro/internal/wire"
 )
 
@@ -93,6 +96,15 @@ type Runtime struct {
 	echo   []map[int]echoState
 	rtt    []map[int]time.Duration
 
+	// Decentralized Vivaldi (§3.1): every local peer owns a coordinate it
+	// updates from the RTT samples the transport already collects; probe
+	// frames piggyback coordinates, so the last coordinate seen from every
+	// remote peer is cached here for planning and for feeding updates.
+	nodes      []*vivaldi.Node // nil for non-local peers
+	coordMu    sync.RWMutex
+	peerCoords []vivaldi.Coordinate // last coordinate gossiped per peer
+	peerErrs   []float64
+
 	sent, delivered, dropped atomic.Uint64
 }
 
@@ -146,25 +158,30 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 	opt = opt.withDefaults()
 	n := len(addrs)
 	r := &Runtime{
-		n:       n,
-		local:   append([]int(nil), local...),
-		isLocal: make([]bool, n),
-		addrs:   addrs,
-		conns:   conns,
-		boxes:   make([]*actor.Mailbox, n),
-		start:   time.Now(),
-		opt:     opt,
-		planRng: rand.New(rand.NewSource(opt.Seed)),
-		hands:   make([]runtime.Handler, n),
-		down:    make([]atomic.Bool, n),
-		peerMu:  make([]sync.Mutex, n),
-		echo:    make([]map[int]echoState, n),
-		rtt:     make([]map[int]time.Duration, n),
+		n:          n,
+		local:      append([]int(nil), local...),
+		isLocal:    make([]bool, n),
+		addrs:      addrs,
+		conns:      conns,
+		boxes:      make([]*actor.Mailbox, n),
+		start:      time.Now(),
+		opt:        opt,
+		planRng:    rand.New(rand.NewSource(opt.Seed)),
+		hands:      make([]runtime.Handler, n),
+		down:       make([]atomic.Bool, n),
+		peerMu:     make([]sync.Mutex, n),
+		echo:       make([]map[int]echoState, n),
+		rtt:        make([]map[int]time.Duration, n),
+		nodes:      make([]*vivaldi.Node, n),
+		peerCoords: make([]vivaldi.Coordinate, n),
+		peerErrs:   make([]float64, n),
 	}
 	for _, p := range local {
 		r.isLocal[p] = true
 		r.echo[p] = make(map[int]echoState)
 		r.rtt[p] = make(map[int]time.Duration)
+		r.nodes[p] = vivaldi.NewNode(vivaldi.DefaultConfig(),
+			rand.New(rand.NewSource(opt.Seed*7919+int64(p)+1)))
 		if opt.ReadBuffer > 0 {
 			_ = conns[p].SetReadBuffer(opt.ReadBuffer)
 		}
@@ -431,6 +448,33 @@ func (r *Runtime) noteRTT(local, remote int, sample time.Duration) {
 	r.peerMu[local].Unlock()
 }
 
+// observe handles one RTT sample at a local peer: it feeds the smoothed
+// table and, when the remote's coordinate is known from gossip, runs one
+// Vivaldi update — the passive measurements the transport already collects
+// are exactly the algorithm's input.
+func (r *Runtime) observe(local, remote int, sample time.Duration) {
+	if sample < 0 {
+		return
+	}
+	r.noteRTT(local, remote, sample)
+	r.coordMu.RLock()
+	c, e := r.peerCoords[remote], r.peerErrs[remote]
+	r.coordMu.RUnlock()
+	if c != nil {
+		// The embedding is in one-way milliseconds; a datagram RTT is two
+		// flights.
+		r.nodes[local].Update(sample/2, c, e)
+	}
+}
+
+// noteCoord caches the latest coordinate gossiped by a peer.
+func (r *Runtime) noteCoord(peer int, c vivaldi.Coordinate, errEst float64) {
+	r.coordMu.Lock()
+	r.peerCoords[peer] = c
+	r.peerErrs[peer] = errEst
+	r.coordMu.Unlock()
+}
+
 // recvLoop reads datagrams for one local peer until its socket closes.
 func (r *Runtime) recvLoop(peer int) {
 	defer r.wg.Done()
@@ -471,12 +515,16 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		if err != nil || r.down[peer].Load() {
 			return
 		}
+		if c, e, ok := readCoord(rd); ok {
+			r.noteCoord(src, c, e)
+		}
 		var w wire.Buffer
 		w.PutByte(framePong)
 		w.PutUvarint(uint64(peer))
 		w.PutUvarint(srcU)
 		w.PutVarint(stamp)
 		w.PutVarint(0) // replied immediately: no hold
+		putCoord(&w, r.nodes[peer])
 		_, _ = r.conns[peer].WriteToUDP(w.Bytes(), r.addrs[src])
 
 	case framePong:
@@ -488,7 +536,10 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		if err != nil {
 			return
 		}
-		r.noteRTT(peer, src, now-time.Duration(stamp)-time.Duration(hold))
+		if c, e, ok := readCoord(rd); ok {
+			r.noteCoord(src, c, e)
+		}
+		r.observe(peer, src, now-time.Duration(stamp)-time.Duration(hold))
 
 	case frameMsg:
 		stamp, err := rd.Varint()
@@ -514,7 +565,7 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		r.echo[peer][src] = echoState{stamp: stamp, at: time.Now()}
 		r.peerMu[peer].Unlock()
 		if echoStamp != 0 {
-			r.noteRTT(peer, src, now-time.Duration(echoStamp)-time.Duration(hold))
+			r.observe(peer, src, now-time.Duration(echoStamp)-time.Duration(hold))
 		}
 		frame := rd.Rest()
 		msg, err := wire.DecodeMessage(frame)
@@ -563,14 +614,42 @@ func stampNow(start time.Time) int64 {
 	return 1
 }
 
-// sendPing writes one RTT probe from a local peer.
+// sendPing writes one RTT probe from a local peer, carrying its Vivaldi
+// coordinate.
 func (r *Runtime) sendPing(from, to int) {
 	var w wire.Buffer
 	w.PutByte(framePing)
 	w.PutUvarint(uint64(from))
 	w.PutUvarint(uint64(to))
 	w.PutVarint(stampNow(r.start))
+	putCoord(&w, r.nodes[from])
 	_, _ = r.conns[from].WriteToUDP(w.Bytes(), r.addrs[to])
+}
+
+// coordDims is the embedding dimensionality every node in the federation
+// uses (the paper's experiments use 3-dimensional coordinates). Gossiped
+// coordinates of any other dimensionality are rejected before caching —
+// a foreign-sized coordinate would panic distance computations in
+// CoordError and the planner's clustering.
+var coordDims = vivaldi.DefaultConfig().Dims
+
+// putCoord appends a coordinate extension to a probe frame (the same
+// wire.PutCoordExt layout heartbeats use).
+func putCoord(w *wire.Buffer, n *vivaldi.Node) {
+	c, e := n.Snapshot()
+	w.PutCoordExt(c, e)
+}
+
+// readCoord reads the optional trailing coordinate extension of a probe
+// frame. Frames from binaries predating the extension simply end here;
+// malformed extensions and coordinates of the wrong dimensionality are
+// ignored rather than poisoning the probe.
+func readCoord(rd *wire.Reader) (vivaldi.Coordinate, float64, bool) {
+	c, e, err := rd.CoordExt()
+	if err != nil || len(c) != coordDims {
+		return nil, 0, false
+	}
+	return vivaldi.Coordinate(c), e, true
 }
 
 // ProbeAll primes the RTT table: every local peer pings every other peer,
@@ -592,4 +671,99 @@ func (r *Runtime) ProbeAll(rounds int, wait time.Duration) {
 		}
 		time.Sleep(wait)
 	}
+}
+
+// --- decentralized Vivaldi ---
+
+// VivaldiNode returns a local peer's Vivaldi coordinate state (nil for
+// peers this process does not host). The peer core piggybacks the
+// coordinate on heartbeats and updates it from measured RTTs.
+func (r *Runtime) VivaldiNode(peer int) *vivaldi.Node {
+	if peer < 0 || peer >= r.n {
+		return nil
+	}
+	return r.nodes[peer]
+}
+
+// Gossip runs coordinate gossip rounds: each local peer probes fanout
+// random peers (every peer when fanout <= 0) with a coordinate-carrying
+// ping; each pong delivers an RTT sample plus the responder's coordinate —
+// one Vivaldi update. Every process of a federation gossips, so worker
+// peers embed themselves from their own measurements; the prototype let
+// Vivaldi run "for at least ten rounds before interconnecting operators".
+func (r *Runtime) Gossip(rounds, fanout int, wait time.Duration) {
+	rng := rand.New(rand.NewSource(r.opt.Seed ^ 0x5deece66d))
+	for k := 0; k < rounds; k++ {
+		if r.closed.Load() {
+			return
+		}
+		for _, p := range r.local {
+			sent := 0
+			for _, q := range rng.Perm(r.n) {
+				if q == p {
+					continue
+				}
+				r.sendPing(p, q)
+				if sent++; fanout > 0 && sent >= fanout {
+					break
+				}
+			}
+		}
+		time.Sleep(wait)
+	}
+}
+
+// Coordinates returns this process's view of every peer's coordinate:
+// local peers report their node state, remote peers the last coordinate
+// they gossiped. known[i] is false where nothing has been heard yet —
+// planning from coordinates needs the full federation covered.
+func (r *Runtime) Coordinates() ([]vivaldi.Coordinate, []float64, []bool) {
+	coords := make([]vivaldi.Coordinate, r.n)
+	errs := make([]float64, r.n)
+	known := make([]bool, r.n)
+	for p := 0; p < r.n; p++ {
+		if r.isLocal[p] {
+			coords[p], errs[p] = r.nodes[p].Snapshot()
+			known[p] = true
+		}
+	}
+	r.coordMu.RLock()
+	for p := 0; p < r.n; p++ {
+		if !known[p] && r.peerCoords[p] != nil {
+			coords[p] = r.peerCoords[p].Clone()
+			errs[p] = r.peerErrs[p]
+			known[p] = true
+		}
+	}
+	r.coordMu.RUnlock()
+	return coords, errs, known
+}
+
+// CoordError measures embedding quality against the transport's own
+// measurements: the median over (local, remote) pairs with both a known
+// coordinate and a measured RTT of |coordinate distance - measured one-way|
+// in milliseconds, plus the number of pairs compared. Convergence logging
+// and tests assert this shrinks below a tolerance.
+func (r *Runtime) CoordError() (medianMs float64, pairs int) {
+	coords, _, known := r.Coordinates()
+	var errs []float64
+	for _, p := range r.local {
+		for q := 0; q < r.n; q++ {
+			if q == p || !known[q] {
+				continue
+			}
+			m, ok := r.Measured(p, q)
+			if !ok {
+				continue
+			}
+			pred := coords[p].Dist(coords[q])
+			actual := float64(m) / float64(time.Millisecond)
+			errs = append(errs, math.Abs(pred-actual))
+		}
+	}
+	if len(errs) == 0 {
+		return 0, 0
+	}
+	sort.Float64s(errs)
+	return errs[len(errs)/2], len(errs)
 }

@@ -2,6 +2,7 @@ package netrt_test
 
 import (
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -9,10 +10,12 @@ import (
 	"repro/internal/federation"
 	"repro/internal/mortar"
 	"repro/internal/msl"
+	"repro/internal/plan"
 	"repro/internal/runtime"
 	"repro/internal/runtime/livert"
 	"repro/internal/runtime/netrt"
 	"repro/internal/tuple"
+	"repro/internal/vivaldi"
 	"repro/internal/wire"
 )
 
@@ -167,6 +170,40 @@ func TestRTTMeasurement(t *testing.T) {
 	})
 }
 
+// runFederations starts sensors on every federation, polls the first
+// federation's best root completeness until it reaches target (or 12s
+// pass), shuts everything down, and returns the best count seen.
+func runFederations(feds []*federation.Federation, target int, shutdown func()) int {
+	var mu sync.Mutex
+	best := 0
+	feds[0].Fab.SubscribeAll(func(r mortar.Result) {
+		mu.Lock()
+		if r.Count > best {
+			best = r.Count
+		}
+		mu.Unlock()
+	})
+	for i, fed := range feds {
+		fed.StartSensors(500*time.Millisecond, func(peer int) tuple.Raw {
+			return tuple.Raw{Vals: []float64{1}}
+		}, rand.New(rand.NewSource(int64(100+i))))
+	}
+	deadline := time.Now().Add(12 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		b := best
+		mu.Unlock()
+		if b == target {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	shutdown()
+	mu.Lock()
+	defer mu.Unlock()
+	return best
+}
+
 // The acceptance test: several netrt runtimes in one process — each
 // hosting a peer range, every message crossing the kernel's UDP stack on
 // loopback — run the default MSL count query end to end. The coordinator
@@ -178,37 +215,6 @@ func TestNetFederationMatchesLive(t *testing.T) {
 	prog, err := msl.Parse("query peers as count() from sensors window time 1s slide 1s trees 4 bf 16")
 	if err != nil {
 		t.Fatal(err)
-	}
-
-	run := func(feds []*federation.Federation, shutdown func()) int {
-		var mu sync.Mutex
-		best := 0
-		feds[0].Fab.SubscribeAll(func(r mortar.Result) {
-			mu.Lock()
-			if r.Count > best {
-				best = r.Count
-			}
-			mu.Unlock()
-		})
-		for i, fed := range feds {
-			fed.StartSensors(500*time.Millisecond, func(peer int) tuple.Raw {
-				return tuple.Raw{Vals: []float64{1}}
-			}, rand.New(rand.NewSource(int64(100+i))))
-		}
-		deadline := time.Now().Add(12 * time.Second)
-		for time.Now().Before(deadline) {
-			mu.Lock()
-			b := best
-			mu.Unlock()
-			if b == peers {
-				break
-			}
-			time.Sleep(100 * time.Millisecond)
-		}
-		shutdown()
-		mu.Lock()
-		defer mu.Unlock()
-		return best
 	}
 
 	// --- netrt: three "processes" over loopback UDP ---
@@ -231,7 +237,7 @@ func TestNetFederationMatchesLive(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	netBest := run([]*federation.Federation{coord, w1, w2}, func() {
+	netBest := runFederations([]*federation.Federation{coord, w1, w2}, peers, func() {
 		for _, rt := range rts {
 			rt.Shutdown()
 		}
@@ -242,18 +248,156 @@ func TestNetFederationMatchesLive(t *testing.T) {
 	}
 
 	// --- livert: the same program in-process ---
+	liveBest := livertBaseline(t, prog, peers)
+
+	if netBest != liveBest {
+		t.Fatalf("netrt completeness %d != livert completeness %d", netBest, liveBest)
+	}
+}
+
+// livertBaseline runs the program on the in-process live runtime and
+// returns the completeness it reaches — the baseline socket runs are held
+// to.
+func livertBaseline(t *testing.T, prog *msl.Program, peers int) int {
+	t.Helper()
 	lrt := livert.New(peers, livert.Options{Seed: 42, MinDelay: 200 * time.Microsecond, MaxDelay: 2 * time.Millisecond})
 	lfed, err := federation.NewRuntime(lrt, prog, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	liveBest := run([]*federation.Federation{lfed}, lrt.Shutdown)
-
-	if liveBest != peers {
-		t.Fatalf("livert run reached completeness %d of %d", liveBest, peers)
+	best := runFederations([]*federation.Federation{lfed}, peers, lrt.Shutdown)
+	if best != peers {
+		t.Fatalf("livert run reached completeness %d of %d", best, peers)
 	}
-	if netBest != liveBest {
-		t.Fatalf("netrt completeness %d != livert completeness %d", netBest, liveBest)
+	return best
+}
+
+// The Vivaldi tentpole acceptance: a multi-runtime federation plans its
+// trees from gossiped coordinates with no ProbeAll anywhere on the
+// planning path. Every "process" gossips concurrently — worker peers embed
+// themselves from RTTs they measure, which the coordinator cannot — then
+// the coordinator's view must cover all peers, the embedding must predict
+// measured latency within tolerance, planning must consume the gossiped
+// coordinates, and the run must reach the livert completeness baseline.
+func TestVivaldiFederationPlansFromGossipedCoords(t *testing.T) {
+	const peers = 12
+	prog, err := msl.Parse("query peers as count() from sensors window time 1s slide 1s trees 4 bf 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, _, err := netrt.NewGroup([][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}, netrt.Options{Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers before any traffic, so their handlers exist when the install
+	// multicast lands.
+	w1, err := federation.NewWorker(rts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := federation.NewWorker(rts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decentralized Vivaldi: all processes gossip concurrently, ten rounds
+	// each (the prototype let Vivaldi run "for at least ten rounds before
+	// interconnecting operators").
+	var wg sync.WaitGroup
+	for _, rt := range rts {
+		wg.Add(1)
+		go func(rt *netrt.Runtime) {
+			defer wg.Done()
+			rt.Gossip(10, 0, 20*time.Millisecond)
+		}(rt)
+	}
+	wg.Wait()
+
+	_, _, known := rts[0].Coordinates()
+	for p, k := range known {
+		if !k {
+			t.Fatalf("coordinator missing peer %d's coordinate after gossip", p)
+		}
+	}
+	med, pairs := rts[0].CoordError()
+	if pairs == 0 {
+		t.Fatal("no (coordinate, measurement) pairs to judge convergence")
+	}
+	if med > 2.0 {
+		t.Fatalf("median |coord dist - measured| = %.3fms over %d pairs; embedding did not converge", med, pairs)
+	}
+
+	coord, err := federation.NewRuntime(rts[0], prog, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !coord.PlannedFromCoords {
+		t.Fatal("planning fell back to the coordinator-local embedding")
+	}
+	if _, ok := coord.Model.(plan.CoordModel); !ok {
+		t.Fatalf("planning model is %T, want plan.CoordModel", coord.Model)
+	}
+
+	netBest := runFederations([]*federation.Federation{coord, w1, w2}, peers, func() {
+		for _, rt := range rts {
+			rt.Shutdown()
+		}
+	})
+	if liveBest := livertBaseline(t, prog, peers); netBest != liveBest {
+		t.Fatalf("gossip-planned completeness %d != livert completeness %d", netBest, liveBest)
+	}
+}
+
+// Heartbeats piggyback the sender's coordinate, so once trees are wired a
+// child keeps updating its Vivaldi node from its parent's beats with no
+// probe traffic at all: worker-side coordinates must keep being touched
+// after gossip stops.
+func TestHeartbeatsCarryCoordinates(t *testing.T) {
+	const peers = 6
+	rts, _, err := netrt.NewGroup([][]int{{0, 1, 2}, {3, 4, 5}}, netrt.Options{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worker, err := federation.NewWorker(rts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = worker
+	prog, err := msl.Parse("query peers as count() from sensors window time 500ms slide 500ms trees 2 bf 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One gossip round seeds remote coordinates; afterwards only protocol
+	// traffic (heartbeats with HeartbeatPeriod 2s, envelopes, recon) flows.
+	for _, rt := range rts {
+		rt.Gossip(1, 0, 20*time.Millisecond)
+	}
+	if _, err := federation.NewRuntime(rts[0], prog, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]vivaldi.Coordinate, peers)
+	cc, _, _ := rts[1].Coordinates()
+	copy(before, cc)
+	// Heartbeats flow every 2s once wiring lands; wait long enough for a
+	// few beats, then require some worker-local coordinate to have moved —
+	// updates driven purely by coordinate-carrying protocol traffic.
+	deadline := time.Now().Add(10 * time.Second)
+	moved := false
+	for time.Now().Before(deadline) && !moved {
+		time.Sleep(250 * time.Millisecond)
+		now, _, _ := rts[1].Coordinates()
+		for _, p := range []int{3, 4, 5} {
+			if now[p].Dist(before[p]) > 0 {
+				moved = true
+				break
+			}
+		}
+	}
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	if !moved {
+		t.Fatal("worker coordinates never moved after gossip stopped; heartbeat piggyback inert")
 	}
 }
 
@@ -294,4 +438,51 @@ func TestInstallCrossesSockets(t *testing.T) {
 	if got := worker.Fab.WiredCount("peers"); got != 3 {
 		t.Fatalf("worker wired %d of its 3 operators", got)
 	}
+}
+
+// A gossiped coordinate whose dimensionality differs from the
+// federation's embedding (a corrupt or hostile datagram) must be dropped
+// before caching: caching it would panic distance computations in
+// CoordError and coordinate-based planning.
+func TestForeignDimensionCoordinateRejected(t *testing.T) {
+	rts, dir, err := netrt.NewGroup([][]int{{0}, {1}}, netrt.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := rts[0]
+	defer rt.Shutdown()
+	defer rts[1].Shutdown()
+
+	attacker, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer attacker.Close()
+	dst, err := net.ResolveUDPAddr("udp", dir[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A ping claiming to be peer 1, carrying a 2-dimensional coordinate
+	// (the federation embeds in 3 dimensions).
+	var w wire.Buffer
+	w.PutByte(2) // framePing
+	w.PutUvarint(1)
+	w.PutUvarint(0)
+	w.PutVarint(12345)
+	w.PutUvarint(2)
+	w.PutF64(1.5)
+	w.PutF64(2.5)
+	w.PutF64(0.3) // error estimate
+	if _, err := attacker.WriteToUDP(w.Bytes(), dst); err != nil {
+		t.Fatal(err)
+	}
+	// Give the frame time to land, then require the malformed coordinate
+	// was not cached and distance computations still work.
+	time.Sleep(200 * time.Millisecond)
+	_, _, known := rt.Coordinates()
+	if known[1] {
+		t.Fatal("foreign-dimension coordinate was cached")
+	}
+	rt.ProbeAll(1, 20*time.Millisecond)
+	_, _ = rt.CoordError() // must not panic
 }

@@ -11,6 +11,7 @@ package vivaldi
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -48,9 +49,14 @@ type Config struct {
 // constants ce = cc = 0.25.
 func DefaultConfig() Config { return Config{Dims: 3, CE: 0.25, CC: 0.25} }
 
-// Node is one participant's coordinate state.
+// Node is one participant's coordinate state. It is safe for concurrent
+// use: under a live runtime the receive path updates the coordinate (one
+// sample per heartbeat or probe reply) while the planner and the heartbeat
+// sender read it from other goroutines.
 type Node struct {
-	cfg   Config
+	cfg Config
+
+	mu    sync.Mutex
 	coord Coordinate
 	err   float64
 	rng   *rand.Rand
@@ -67,20 +73,39 @@ func NewNode(cfg Config, rng *rand.Rand) *Node {
 	return &Node{cfg: cfg, coord: c, err: 1, rng: rng}
 }
 
-// Coord returns the node's current coordinate (a live reference; callers
-// that store it should Clone).
-func (n *Node) Coord() Coordinate { return n.coord }
+// Coord returns a copy of the node's current coordinate. It never returns
+// a live reference: the receive loop may move the coordinate concurrently
+// with the caller reading it.
+func (n *Node) Coord() Coordinate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coord.Clone()
+}
 
 // Error returns the node's current error estimate.
-func (n *Node) Error() float64 { return n.err }
+func (n *Node) Error() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// Snapshot returns the coordinate (copied) and error estimate read under
+// one lock, so the pair is consistent — what heartbeat piggybacking sends.
+func (n *Node) Snapshot() (Coordinate, float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.coord.Clone(), n.err
+}
 
 // Update incorporates one latency sample to a remote node, moving this
 // node's coordinate along the spring force between the two.
 func (n *Node) Update(rtt time.Duration, remote Coordinate, remoteErr float64) {
 	lat := float64(rtt) / float64(time.Millisecond)
-	if lat <= 0 {
+	if lat <= 0 || len(remote) != n.cfg.Dims {
 		return
 	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	dist := n.coord.Dist(remote)
 	// Weight: balance of local vs remote error.
 	w := 0.5
@@ -156,7 +181,8 @@ func (s *System) Round(samples int, oneWay func(i, j int) time.Duration) {
 			if lat < 0 {
 				continue
 			}
-			s.Nodes[i].Update(lat, s.Nodes[j].coord, s.Nodes[j].err)
+			remote, remoteErr := s.Nodes[j].Snapshot()
+			s.Nodes[i].Update(lat, remote, remoteErr)
 		}
 	}
 }
@@ -172,7 +198,7 @@ func (s *System) Run(rounds, samplesPerRound int, oneWay func(i, j int) time.Dur
 func (s *System) Coordinates() []Coordinate {
 	out := make([]Coordinate, len(s.Nodes))
 	for i, n := range s.Nodes {
-		out[i] = n.coord.Clone()
+		out[i] = n.Coord()
 	}
 	return out
 }
@@ -191,7 +217,7 @@ func (s *System) MedianRelativeError(pairs int, oneWay func(i, j int) time.Durat
 		if actual <= 0 {
 			continue
 		}
-		pred := s.Nodes[i].coord.Dist(s.Nodes[j].coord)
+		pred := s.Nodes[i].Coord().Dist(s.Nodes[j].Coord())
 		errs = append(errs, math.Abs(pred-actual)/actual)
 	}
 	if len(errs) == 0 {

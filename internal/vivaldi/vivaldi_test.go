@@ -126,3 +126,43 @@ func TestErrorStaysBounded(t *testing.T) {
 		}
 	}
 }
+
+// A node's coordinate is updated by the receive path while planners and
+// heartbeat senders read it concurrently; Coord must return a copy and
+// every accessor must be race-clean (run under -race).
+func TestNodeConcurrentAccess(t *testing.T) {
+	n := NewNode(DefaultConfig(), rand.New(rand.NewSource(3)))
+	remote := Coordinate{5, 5, 5}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			n.Update(time.Duration(1+i%20)*time.Millisecond, remote, 0.3)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		c := n.Coord()
+		c[0] = math.Inf(1) // must not alias the live coordinate
+		snap, errEst := n.Snapshot()
+		if len(snap) != 3 || errEst < 0 || errEst > 1 {
+			t.Fatalf("snapshot %v err %v", snap, errEst)
+		}
+		_ = n.Error()
+	}
+	<-done
+	if c := n.Coord(); math.IsInf(c[0], 1) {
+		t.Fatal("Coord returned a live reference")
+	}
+}
+
+// Samples whose coordinate dimensionality does not match the node's (a
+// malformed or foreign-config wire coordinate) must be ignored, not panic.
+func TestUpdateRejectsDimensionMismatch(t *testing.T) {
+	n := NewNode(DefaultConfig(), rand.New(rand.NewSource(4)))
+	before := n.Coord()
+	n.Update(5*time.Millisecond, Coordinate{1}, 0.5)
+	n.Update(5*time.Millisecond, Coordinate{1, 2, 3, 4}, 0.5)
+	if d := n.Coord().Dist(before); d != 0 {
+		t.Fatalf("node moved %v on mismatched sample", d)
+	}
+}

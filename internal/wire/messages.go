@@ -21,8 +21,17 @@ import (
 // ErrCorrupt, and never panic on corrupt input (fuzz targets pin this).
 
 // Version is the wire-format version byte leading every message frame.
-// Decoders reject frames from other versions as corrupt.
-const Version = 1
+// Decoders reject frames from unknown versions as corrupt but accept the
+// previous version. The tolerance is decode-side only: new binaries read
+// old frames, while old binaries reject the new version — so a rolling
+// upgrade finishes cleanly once every sender is upgraded, but a mixed
+// federation is not a steady state.
+const Version = 2
+
+// VersionNoCoords is the previous wire format: identical except that
+// heartbeats end after the reconciliation hash, with no Vivaldi coordinate
+// extension. Decoders still accept it (version-tolerant decode).
+const VersionNoCoords = 1
 
 // Message kind tags.
 const (
@@ -84,10 +93,18 @@ type Envelope struct {
 }
 
 // Heartbeat flows parent -> child every heartbeat period. Every few beats
-// it piggybacks the reconciliation hash of the sender's query set.
+// it piggybacks the reconciliation hash of the sender's query set. On
+// runtimes that run decentralized Vivaldi (runtime/netrt) it also carries
+// the sender's network coordinate, the way the prototype gossiped Bamboo's
+// Vivaldi state on the traffic peers already exchange.
 type Heartbeat struct {
 	Seq  uint64
 	Hash uint64 // 0 when not piggybacked this beat
+	// Coord is the sender's Vivaldi coordinate in milliseconds, empty when
+	// the sending runtime maintains none. CoordErr is the sender's error
+	// estimate, meaningful only when Coord is present.
+	Coord    []float64
+	CoordErr float64
 }
 
 // Install carries a chunk of the install multicast: per-member metadata
@@ -182,7 +199,7 @@ func EncodeMessage(w *Buffer, msg any) error {
 func DecodeMessage(b []byte) (any, error) {
 	r := NewReader(b)
 	v, err := r.Byte()
-	if err != nil || v != Version {
+	if err != nil || (v != Version && v != VersionNoCoords) {
 		return nil, fmt.Errorf("wire: bad version: %w", ErrCorrupt)
 	}
 	kind, err := r.Byte()
@@ -197,7 +214,7 @@ func DecodeMessage(b []byte) (any, error) {
 			msg = &e
 		}
 	case MsgHeartbeat:
-		msg, err = DecodeHeartbeat(r)
+		msg, err = decodeHeartbeatVersion(r, v)
 	case MsgInstall:
 		msg, err = DecodeInstall(r)
 	case MsgRemove:
@@ -251,18 +268,70 @@ func DecodeEnvelope(r *Reader) (e Envelope, err error) {
 
 // --- Heartbeat ---
 
-// EncodeHeartbeat appends a heartbeat payload.
+// PutCoordExt appends the Vivaldi coordinate extension shared by
+// heartbeats and netrt's probe frames: a dimension count (0 when no
+// coordinate is attached), the components, then the error estimate (only
+// when a coordinate is present).
+func (w *Buffer) PutCoordExt(c []float64, errEst float64) {
+	w.PutUvarint(uint64(len(c)))
+	for _, v := range c {
+		w.PutF64(v)
+	}
+	if len(c) > 0 {
+		w.PutF64(errEst)
+	}
+}
+
+// CoordExt reads the coordinate extension written by PutCoordExt. A zero
+// dimension count yields a nil coordinate; the count is bounded against
+// the remaining bytes before allocating.
+func (r *Reader) CoordExt() ([]float64, float64, error) {
+	d, err := r.Uvarint()
+	if err != nil || d > uint64(r.Remaining())/8 {
+		return nil, 0, ErrCorrupt
+	}
+	if d == 0 {
+		return nil, 0, nil
+	}
+	c := make([]float64, d)
+	for i := range c {
+		if c[i], err = r.F64(); err != nil {
+			return nil, 0, err
+		}
+	}
+	e, err := r.F64()
+	if err != nil {
+		return nil, 0, err
+	}
+	return c, e, nil
+}
+
+// EncodeHeartbeat appends a heartbeat payload: seq, hash, then the
+// coordinate extension.
 func EncodeHeartbeat(w *Buffer, m Heartbeat) {
 	w.PutUvarint(m.Seq)
 	w.PutUvarint(m.Hash)
+	w.PutCoordExt(m.Coord, m.CoordErr)
 }
 
-// DecodeHeartbeat reads a heartbeat payload.
-func DecodeHeartbeat(r *Reader) (m Heartbeat, err error) {
+// DecodeHeartbeat reads a current-version heartbeat payload.
+func DecodeHeartbeat(r *Reader) (Heartbeat, error) {
+	return decodeHeartbeatVersion(r, Version)
+}
+
+// decodeHeartbeatVersion reads a heartbeat payload in the given frame
+// version: VersionNoCoords payloads end after the hash.
+func decodeHeartbeatVersion(r *Reader, v byte) (m Heartbeat, err error) {
 	if m.Seq, err = r.Uvarint(); err != nil {
 		return
 	}
-	m.Hash, err = r.Uvarint()
+	if m.Hash, err = r.Uvarint(); err != nil {
+		return
+	}
+	if v == VersionNoCoords {
+		return
+	}
+	m.Coord, m.CoordErr, err = r.CoordExt()
 	return
 }
 

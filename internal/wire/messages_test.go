@@ -52,6 +52,7 @@ func sampleMessages() []any {
 		},
 		Heartbeat{Seq: 300, Hash: 0xdeadbeefcafe},
 		Heartbeat{Seq: 1}, // no piggybacked hash
+		Heartbeat{Seq: 2, Coord: []float64{3.25, -1.5, 40}, CoordErr: 0.4},
 		Install{
 			Meta: sampleMeta(),
 			Members: map[int]Neighbors{
@@ -136,6 +137,45 @@ func TestMessageTruncations(t *testing.T) {
 				t.Fatalf("%T truncated at %d of %d: err = %v", msg, cut, len(full), err)
 			}
 		}
+	}
+}
+
+// Version-1 frames predate the heartbeat coordinate extension; decoders
+// must still accept them (a federation can mix binaries across one format
+// step), while versions beyond the current stay corrupt.
+func TestHeartbeatVersionTolerance(t *testing.T) {
+	var w Buffer
+	w.b = append(w.b, VersionNoCoords, MsgHeartbeat)
+	w.PutUvarint(42)
+	w.PutUvarint(7)
+	got, err := DecodeMessage(w.Bytes())
+	if err != nil {
+		t.Fatalf("v1 heartbeat rejected: %v", err)
+	}
+	hb, ok := got.(Heartbeat)
+	if !ok || hb.Seq != 42 || hb.Hash != 7 || hb.Coord != nil {
+		t.Fatalf("v1 heartbeat decoded as %#v", got)
+	}
+
+	// The same payload under the current version is truncated (the
+	// mandatory dimension count is missing).
+	w = Buffer{}
+	w.b = append(w.b, Version, MsgHeartbeat)
+	w.PutUvarint(42)
+	w.PutUvarint(7)
+	if _, err := DecodeMessage(w.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("v2 heartbeat without extension: %v", err)
+	}
+
+	// A claimed dimensionality beyond the remaining bytes must not drive
+	// allocation.
+	w = Buffer{}
+	w.b = append(w.b, Version, MsgHeartbeat)
+	w.PutUvarint(42)
+	w.PutUvarint(7)
+	w.PutUvarint(1 << 40)
+	if _, err := DecodeMessage(w.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd coord dimension: %v", err)
 	}
 }
 

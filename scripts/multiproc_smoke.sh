@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Multi-process smoke: build mortard, write a temp peers file, launch a
+# coordinator plus two workers over localhost UDP (three real processes,
+# every message a real datagram), and assert the coordinator's count query
+# reaches full completeness — the livert baseline, where every peer's
+# sensor contributes to the window. Runs with -vivaldi, so planning comes
+# from gossiped coordinates and convergence is logged.
+#
+# Usage: scripts/multiproc_smoke.sh   (from the repo root)
+# Env:   SMOKE_BASE_PORT (default 47300), SMOKE_DURATION (default 20s)
+set -euo pipefail
+
+PEERS=12
+BASE_PORT="${SMOKE_BASE_PORT:-47300}"
+JOIN="127.0.0.1:$((BASE_PORT + 99))"
+DUR="${SMOKE_DURATION:-20s}"
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+  for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/mortard" ./cmd/mortard
+for i in $(seq 0 $((PEERS - 1))); do
+  echo "127.0.0.1:$((BASE_PORT + i))"
+done > "$tmp/peers.txt"
+
+# Workers outlive the coordinator's -duration; its hang-up ends their run.
+"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 4-7 -join "$JOIN" -vivaldi -duration 90s > "$tmp/w1.log" 2>&1 &
+pids+=($!)
+"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 8-11 -join "$JOIN" -vivaldi -duration 90s > "$tmp/w2.log" 2>&1 &
+pids+=($!)
+"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 0-3 -listen "$JOIN" -vivaldi -duration "$DUR" > "$tmp/coord.log" 2>&1 &
+coord=$!
+pids+=("$coord")
+
+ok=0
+for _ in $(seq 1 90); do
+  if grep -q "completeness=$PEERS" "$tmp/coord.log" 2>/dev/null; then
+    ok=1
+    break
+  fi
+  if ! kill -0 "$coord" 2>/dev/null; then
+    break
+  fi
+  sleep 1
+done
+
+echo "---- coordinator log ----"
+cat "$tmp/coord.log"
+if [ "$ok" != 1 ]; then
+  echo "---- worker 1 log ----"; cat "$tmp/w1.log"
+  echo "---- worker 2 log ----"; cat "$tmp/w2.log"
+  echo "FAIL: coordinator never reported completeness=$PEERS"
+  exit 1
+fi
+if ! grep -q "planned from gossiped coordinates: true" "$tmp/coord.log"; then
+  echo "FAIL: planning did not use gossiped Vivaldi coordinates"
+  exit 1
+fi
+echo "OK: multi-process run reached completeness=$PEERS from gossip-planned trees"
