@@ -29,6 +29,7 @@ import (
 	"repro/internal/plan"
 	rtpkg "repro/internal/runtime"
 	"repro/internal/runtime/livert"
+	"repro/internal/runtime/netrt"
 	"repro/internal/runtime/simrt"
 	"repro/internal/treesim"
 	"repro/internal/tslist"
@@ -364,6 +365,70 @@ func BenchmarkWireInstallRoundTrip(b *testing.B) {
 		}
 	}
 }
+
+// --- Fragmentation layer (the netrt reliable large-message path) ---
+
+// benchFragment measures split + reassemble throughput for one frame size:
+// the CPU cost of moving a frame of that size through netrt's fragmenter
+// and bounded reassembler, sockets excluded.
+func benchFragment(b *testing.B, size int) {
+	payload := make([]byte, size)
+	rng := rand.New(rand.NewSource(9))
+	rng.Read(payload)
+	ra := netrt.NewReassembler(netrt.ReasmOptions{MaxMessage: size + 1024, MaxBytes: 2 * (size + 1024)})
+	now := time.Now()
+	const mtuPayload = 1400 - 64
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frags := netrt.SplitFragments(uint64(i+1), payload, mtuPayload)
+		var msg []byte
+		for _, f := range frags {
+			m, err := ra.Add(0, f, now)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if m != nil {
+				msg = m
+			}
+		}
+		if len(msg) != size {
+			b.Fatalf("reassembled %d of %d bytes", len(msg), size)
+		}
+	}
+}
+
+func BenchmarkFragmentReassemble4KB(b *testing.B)  { benchFragment(b, 4<<10) }
+func BenchmarkFragmentReassemble64KB(b *testing.B) { benchFragment(b, 64<<10) }
+func BenchmarkFragmentReassemble1MB(b *testing.B)  { benchFragment(b, 1<<20) }
+
+// benchHeartbeatSend measures netrt.Send of a single-datagram heartbeat —
+// the hot control-plane path — over real loopback sockets, with the given
+// pacing rate. Comparing the paced and unpaced variants isolates the token
+// bucket's overhead on traffic that never needs it.
+func benchHeartbeatSend(b *testing.B, pace int) {
+	rts, _, err := netrt.NewGroup([][]int{{0, 1}}, netrt.Options{Seed: 1, Pace: pace})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := rts[0]
+	defer rt.Shutdown()
+	rt.Handle(1, func(int, any, int) {})
+	hb := wire.Heartbeat{Seq: 1, Hash: 0xfeedface}
+	var w wire.Buffer
+	if err := wire.EncodeMessage(&w, hb); err != nil {
+		b.Fatal(err)
+	}
+	frame := &rtpkg.Frame{Payload: hb, Bytes: w.Bytes()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Send(0, 1, rtpkg.ClassControl, w.Len(), frame)
+	}
+}
+
+func BenchmarkNetrtHeartbeatSendPaced(b *testing.B)   { benchHeartbeatSend(b, 8<<20) }
+func BenchmarkNetrtHeartbeatSendUnpaced(b *testing.B) { benchHeartbeatSend(b, -1) }
 
 // --- Microbenchmarks of the hot data structures ---
 

@@ -19,7 +19,9 @@
 //     -vivaldi every process runs decentralized Vivaldi: coordinates
 //     spread on probe gossip and heartbeat piggybacks, the coordinator
 //     plans from the gossiped embedding (no coordinator-local probing),
-//     and convergence is logged.
+//     and convergence is logged. -mtu sets the datagram size above which
+//     frames fragment (with NACK repair and reassembly); -pace sets the
+//     token-bucket rate outgoing datagrams drain at.
 //
 // Usage:
 //
@@ -64,6 +66,8 @@ func main() {
 		listen   = flag.String("listen", "", "UDP mode, coordinator: TCP address to accept worker joins on")
 		join     = flag.String("join", "", "UDP mode, worker: coordinator TCP address to join")
 		vivaldiM = flag.Bool("vivaldi", false, "UDP mode: run decentralized Vivaldi — every process gossips coordinates, the coordinator plans from them (no coordinator-local probing) and logs convergence")
+		mtu      = flag.Int("mtu", 0, "UDP mode: datagram MTU — frames that do not fit are fragmented, NACK-repaired, and reassembled (0 = netrt default, 1400)")
+		pace     = flag.Int("pace", 0, "UDP mode: outgoing token-bucket rate in bytes/sec per local peer (0 = netrt default, 8 MiB/s; negative = unpaced)")
 	)
 	flag.Parse()
 
@@ -82,7 +86,8 @@ func main() {
 
 	rng := rand.New(rand.NewSource(*seed))
 	if *peersFil != "" {
-		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration, *seed, *vivaldiM)
+		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration,
+			netrt.Options{Seed: *seed, MTU: *mtu, Pace: *pace}, *vivaldiM)
 		return
 	}
 	if *live {
@@ -164,7 +169,7 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 // every process runs decentralized Vivaldi: coordinates spread on probe
 // gossip and heartbeats, and the coordinator plans from the gossiped
 // embedding instead of its own probes.
-func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, seed int64, vivaldiOn bool) {
+func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn bool) {
 	dir, err := netrt.LoadDirectory(peersFile)
 	if err != nil {
 		fatal(err)
@@ -176,7 +181,7 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	if err != nil {
 		fatal(err)
 	}
-	rt, err := netrt.New(dir, local, netrt.Options{Seed: seed})
+	rt, err := netrt.New(dir, local, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -228,7 +233,9 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	time.Sleep(duration)
 	rt.Shutdown()
 	sent, delivered, dropped := rt.Stats()
-	fmt.Printf("# udp transport: sent=%d delivered=%d dropped=%d\n", sent, delivered, dropped)
+	fs := rt.FragStats()
+	fmt.Printf("# udp transport: sent=%d delivered=%d dropped=%d frag streams=%d frags=%d retrans=%d nacks=%d reassembled=%d\n",
+		sent, delivered, dropped, fs.StreamsSent, fs.FragsSent, fs.Retransmits, fs.NacksSent, fs.Reassembled)
 	if vivaldiOn {
 		med, pairs := rt.CoordError()
 		fmt.Printf("# vivaldi final: median |coord dist - measured| = %.3fms over %d pairs\n", med, pairs)

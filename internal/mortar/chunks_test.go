@@ -1,0 +1,109 @@
+package mortar
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// chunkTestDef plans a query over n members with branching factor bf.
+func chunkTestDef(t *testing.T, n, bf, d int) *QueryDef {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	coords := make([]cluster.Point, n)
+	for i := range coords {
+		coords[i] = cluster.Point{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	def := &QueryDef{
+		Meta: QueryMeta{
+			Name:   "chunks",
+			Seq:    1,
+			OpName: "sum",
+			Window: tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+			Root:   0,
+		},
+		Trees:   plan.Build(coords, 0, bf, d, rng),
+		Members: members,
+	}
+	if err := def.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return def
+}
+
+// encodedChunkSize returns the wire size of the install message a chunk
+// head receives — the size the transport is actually asked to carry.
+func encodedChunkSize(t *testing.T, def *QueryDef, c *chunk) int {
+	t.Helper()
+	var w wire.Buffer
+	m := msgInstall{Meta: def.Meta, Members: c.members, Forward: c.forward}
+	if err := wire.EncodeMessage(&w, m); err != nil {
+		t.Fatal(err)
+	}
+	return w.Len()
+}
+
+// assertCover checks every member lands in exactly one chunk.
+func assertCover(t *testing.T, def *QueryDef, chunks []*chunk) {
+	t.Helper()
+	seen := map[int]int{}
+	for _, c := range chunks {
+		for p := range c.members {
+			seen[p]++
+		}
+	}
+	for _, m := range def.Members {
+		if seen[m] != 1 {
+			t.Fatalf("member %d appears in %d chunks", m, seen[m])
+		}
+	}
+}
+
+// With no byte budget (unbounded transports), chunking must keep the
+// paper's fixed-count partition.
+func TestBuildChunksCountMode(t *testing.T) {
+	def := chunkTestDef(t, 40, 2, 2)
+	chunks := buildChunks(def, 16, 0)
+	assertCover(t, def, chunks)
+	if len(chunks) < 2 {
+		t.Fatalf("16-way chunking built %d chunks", len(chunks))
+	}
+	// BFS assigns a popped node's children together, so a chunk can overrun
+	// the per-chunk target by at most the branching factor.
+	target := (40+15)/16 + 2
+	for _, c := range chunks {
+		if len(c.members) > target {
+			t.Fatalf("chunk of %d members for a %d-member bound", len(c.members), target)
+		}
+	}
+}
+
+// With a byte budget (Transport.MaxFrame), every chunk's encoded install
+// message must fit the transport's frame bound, the partition must still
+// cover every member, and a tight budget must produce more chunks than the
+// fixed count would.
+func TestBuildChunksByteBudget(t *testing.T) {
+	def := chunkTestDef(t, 40, 2, 2)
+	const maxFrame = 800
+	budget := maxFrame - maxFrame/8 // mirrors Fabric.chunkBudget
+	chunks := buildChunks(def, 16, budget)
+	assertCover(t, def, chunks)
+	for i, c := range chunks {
+		if got := encodedChunkSize(t, def, c); got > maxFrame {
+			t.Fatalf("chunk %d encodes to %d bytes, over the %d-byte frame bound", i, got, maxFrame)
+		}
+	}
+	// A budget big enough for everything collapses to one chunk.
+	if got := buildChunks(def, 16, 1<<20); len(got) != 1 {
+		t.Fatalf("unconstrained budget built %d chunks, want 1", len(got))
+	}
+}

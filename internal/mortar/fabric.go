@@ -67,7 +67,10 @@ type Config struct {
 	// timestamp indexing for comparison.
 	Syncless bool
 	// InstallChunks is the number of components the install multicast is
-	// split into (§7.1 uses 16).
+	// split into (§7.1 uses 16) on transports with no frame bound. A
+	// transport that bounds a frame (Transport.MaxFrame > 0, the socket
+	// backend) sizes components by encoded bytes from that bound instead,
+	// so every install message fits one Send.
 	InstallChunks int
 }
 
@@ -345,9 +348,11 @@ func (f *Fabric) Compile(meta QueryMeta, members []int, coords []cluster.Point, 
 }
 
 // Install starts the chunked install multicast from the issuing peer
-// (§6): the primary tree is broken into InstallChunks components, each
-// multicast in parallel down its tree edges. Reconciliation guarantees
-// eventual installation on nodes the multicast misses.
+// (§6): the primary tree is broken into components — InstallChunks of them
+// on unbounded transports, or as many as Transport.MaxFrame-sized messages
+// require on bounded ones — each multicast in parallel down its tree
+// edges. Reconciliation guarantees eventual installation on nodes the
+// multicast misses.
 func (f *Fabric) Install(issuer int, def *QueryDef) error {
 	if err := def.Validate(); err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/runtime"
+	"repro/internal/wire"
 )
 
 // This file implements query persistence (§6): the chunked install/remove
@@ -18,17 +19,53 @@ type chunk struct {
 	forward map[int][]int
 }
 
-// buildChunks partitions the primary tree into roughly InstallChunks
-// connected components in BFS order; each component is multicast in
-// parallel down its tree edges (§6: "the peer breaks the tree into n
-// components and multicasts the query down each component in parallel").
-func buildChunks(def *QueryDef, nchunks int) []*chunk {
+// chunkBudget returns the per-chunk encoded-size budget for the install
+// multicast. A transport that bounds a frame (Transport.MaxFrame > 0)
+// gets chunks sized to its ceiling, with headroom for the per-member
+// estimate being approximate; unbounded transports (simrt, livert) return
+// 0, keeping the paper's fixed InstallChunks count.
+func (f *Fabric) chunkBudget() int {
+	mf := f.tr.MaxFrame()
+	if mf <= 0 {
+		return 0
+	}
+	return mf - mf/8
+}
+
+// memberCost estimates the encoded bytes one member adds to an install
+// chunk: its neighbors record plus the peer key and its forward-edge
+// share. It encodes the real record rather than guessing, so the estimate
+// tracks tree depth and fan-out.
+func memberCost(nb neighbors) int {
+	var w wire.Buffer
+	wire.EncodeNeighbors(&w, nb)
+	return w.Len() + 12
+}
+
+// buildChunks partitions the primary tree into connected components in BFS
+// order; each component is multicast in parallel down its tree edges (§6:
+// "the peer breaks the tree into n components and multicasts the query
+// down each component in parallel"). With budgetBytes > 0 — a transport
+// that bounds a frame — components close when their estimated encoding
+// reaches the budget, so every install message fits the transport's
+// MaxFrame; otherwise the tree splits into roughly nchunks components by
+// member count, exactly the paper's fixed-count chunking.
+func buildChunks(def *QueryDef, nchunks, budgetBytes int) []*chunk {
 	primary := def.Trees.Trees[0]
 	n := primary.NumPeers()
 	if nchunks < 1 {
 		nchunks = 1
 	}
-	target := (n + nchunks - 1) / nchunks
+	limit := (n + nchunks - 1) / nchunks // members per chunk (count mode)
+	var base int
+	if budgetBytes > 0 {
+		// Every chunk message pays the metadata plus framing; members fill
+		// the rest of the budget.
+		var w wire.Buffer
+		wire.EncodeQueryMeta(&w, def.Meta)
+		base = w.Len() + 16
+		limit = budgetBytes
+	}
 
 	chunkOf := make([]int, n)
 	for i := range chunkOf {
@@ -47,20 +84,25 @@ func buildChunks(def *QueryDef, nchunks int) []*chunk {
 	sizes := []int{}
 	queue := []int{primary.Root}
 	chunkOf[primary.Root] = newChunk(primary.Root)
-	sizes = append(sizes, 0)
+	sizes = append(sizes, base)
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
 		ci := chunkOf[v]
 		c := chunks[ci]
 		peer := def.Members[v]
-		c.members[peer] = neighborsFor(def, v)
-		sizes[ci]++
+		nb := neighborsFor(def, v)
+		c.members[peer] = nb
+		if budgetBytes > 0 {
+			sizes[ci] += memberCost(nb)
+		} else {
+			sizes[ci]++
+		}
 		for _, ch := range primary.Children[v] {
-			if sizes[ci] >= target {
+			if sizes[ci] >= limit {
 				// Component full: the child heads a new component.
 				chunkOf[ch] = newChunk(ch)
-				sizes = append(sizes, 0)
+				sizes = append(sizes, base)
 			} else {
 				chunkOf[ch] = ci
 				c.forward[peer] = append(c.forward[peer], def.Members[ch])
@@ -97,7 +139,7 @@ func subChunk(m msgInstall, from int) msgInstall {
 // startInstall runs at the issuing peer (the query root): install locally,
 // then multicast.
 func (p *Peer) startInstall(def *QueryDef) {
-	chunks := buildChunks(def, p.fab.Cfg.InstallChunks)
+	chunks := buildChunks(def, p.fab.Cfg.InstallChunks, p.fab.chunkBudget())
 	// Install locally first (the issuer is a member).
 	for _, c := range chunks {
 		if nb, ok := c.members[p.id]; ok {
@@ -196,7 +238,7 @@ func (p *Peer) startRemove(name string, seq uint64) error {
 	if !ok || inst.def == nil {
 		return fmt.Errorf("mortar: peer %d does not hold the definition of %q", p.id, name)
 	}
-	chunks := buildChunks(inst.def, p.fab.Cfg.InstallChunks)
+	chunks := buildChunks(inst.def, p.fab.Cfg.InstallChunks, p.fab.chunkBudget())
 	p.removeLocal(name, seq)
 	for _, c := range chunks {
 		m := msgRemove{Name: name, Seq: seq, Forward: c.forward}

@@ -217,6 +217,10 @@ func (r *Runtime) Latency(a, b int) time.Duration {
 	return (r.opt.MinDelay + r.opt.MaxDelay) / 2
 }
 
+// MaxFrame reports the in-process transport as unbounded: payloads move
+// between mailboxes by reference, never through a datagram.
+func (r *Runtime) MaxFrame() int { return 0 }
+
 // Send draws loss, duplication, and delay, then schedules delivery into the
 // destination's mailbox. Safe to call from any goroutine.
 func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any) bool {

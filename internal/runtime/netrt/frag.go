@@ -1,0 +1,482 @@
+package netrt
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// This file is netrt's reliable large-message machinery: the fragmenter
+// that splits an oversized wire frame into MTU-sized pieces, the bounded
+// per-receiver Reassembler that puts them back together (with stale-stream
+// eviction and NACK-driven repair), the bounded retransmit buffer serving
+// those NACKs, and the token-bucket pacer every outgoing datagram flows
+// through so a multi-fragment burst does not overrun the first queue it
+// meets. Together they turn the transport's one-datagram ceiling into a
+// fragmentation threshold: Send carries any frame up to Options.MaxMessage.
+
+// fragHeadroom is the datagram budget reserved for the fragment framing:
+// frame kind, sender/destination indices, stream id, index, count, and the
+// payload length prefix — all varints, 36 bytes in the worst case. The
+// remainder of the MTU carries fragment payload.
+const fragHeadroom = 64
+
+// SplitFragments splits a frame into fragments of at most maxPayload bytes
+// each, all tagged with the stream id. The payloads alias b — callers that
+// retain fragments past b's lifetime must copy. A frame that already fits
+// in one fragment still yields a single-element train (netrt's Send never
+// asks for that; the single-datagram path keeps the lighter frameMsg
+// layout and its RTT echo).
+func SplitFragments(stream uint64, b []byte, maxPayload int) []wire.Fragment {
+	if maxPayload <= 0 {
+		maxPayload = 1
+	}
+	count := (len(b) + maxPayload - 1) / maxPayload
+	if count == 0 {
+		count = 1
+	}
+	out := make([]wire.Fragment, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * maxPayload
+		hi := lo + maxPayload
+		if hi > len(b) {
+			hi = len(b)
+		}
+		out = append(out, wire.Fragment{
+			Stream:  stream,
+			Index:   uint32(i),
+			Count:   uint32(count),
+			Payload: b[lo:hi],
+		})
+	}
+	return out
+}
+
+// --- reassembly ---
+
+// ReasmOptions bounds a Reassembler. Every limit exists because a UDP peer
+// can be fed garbage: without them a hostile (or merely lossy) sender
+// could pin unbounded memory in half-finished streams.
+type ReasmOptions struct {
+	// MaxMessage is the largest reassembled frame; streams that grow past
+	// it are evicted. Default 4 MiB.
+	MaxMessage int
+	// MaxBytes bounds the total buffered payload across all partial
+	// streams; the oldest stream is evicted to make room. Default
+	// 2×MaxMessage.
+	MaxBytes int
+	// MaxStreams bounds concurrent partial streams. Default 64.
+	MaxStreams int
+	// StaleAfter evicts a stream that has received nothing for this long.
+	// Default 3s.
+	StaleAfter time.Duration
+	// NackDelay is the quiet time before an incomplete stream requests
+	// repair (and between repeat requests). Default 40ms.
+	NackDelay time.Duration
+	// MaxNacks bounds repair rounds per stream; afterwards the stream just
+	// ages out. Default 20.
+	MaxNacks int
+	// MaxNackIndices caps the missing-index list of one NACK so the NACK
+	// itself fits a datagram. Default 256.
+	MaxNackIndices int
+}
+
+func (o ReasmOptions) withDefaults() ReasmOptions {
+	if o.MaxMessage <= 0 {
+		o.MaxMessage = 4 << 20
+	}
+	if o.MaxBytes < o.MaxMessage {
+		o.MaxBytes = 2 * o.MaxMessage
+	}
+	if o.MaxStreams <= 0 {
+		o.MaxStreams = 64
+	}
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 3 * time.Second
+	}
+	if o.NackDelay <= 0 {
+		o.NackDelay = 40 * time.Millisecond
+	}
+	if o.MaxNacks <= 0 {
+		o.MaxNacks = 20
+	}
+	if o.MaxNackIndices <= 0 {
+		o.MaxNackIndices = 256
+	}
+	return o
+}
+
+// NackRequest is a repair request Sweep wants sent: the stream's sender
+// and the fragment indices still missing.
+type NackRequest struct {
+	Src     int
+	Stream  uint64
+	Missing []uint32
+}
+
+type reasmKey struct {
+	src    int
+	stream uint64
+}
+
+type reasmStream struct {
+	parts    [][]byte
+	have     int
+	bytes    int
+	last     time.Time // newest fragment arrival
+	lastNack time.Time
+	nacks    int
+}
+
+// Reassembler rebuilds fragmented frames per (sender, stream) under hard
+// memory bounds. It is safe for concurrent use: the owning peer's receive
+// loop calls Add while the runtime's sweeper calls Sweep. Time flows in
+// explicitly so tests drive eviction deterministically.
+type Reassembler struct {
+	opt ReasmOptions
+
+	mu      sync.Mutex
+	streams map[reasmKey]*reasmStream
+	bytes   int
+
+	completed, evicted uint64
+}
+
+// NewReassembler builds a bounded reassembler.
+func NewReassembler(opt ReasmOptions) *Reassembler {
+	return &Reassembler{opt: opt.withDefaults(), streams: map[reasmKey]*reasmStream{}}
+}
+
+// Bytes returns the payload bytes currently buffered in partial streams.
+func (ra *Reassembler) Bytes() int {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return ra.bytes
+}
+
+// Streams returns the number of partial streams currently held.
+func (ra *Reassembler) Streams() int {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return len(ra.streams)
+}
+
+// Stats returns cumulative counters: frames fully reassembled and streams
+// evicted (stale, oversized, or displaced by the memory bound).
+func (ra *Reassembler) Stats() (completed, evicted uint64) {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	return ra.completed, ra.evicted
+}
+
+// Add folds one fragment in, retaining f.Payload. It returns the complete
+// frame once the stream's last fragment lands, nil while the stream is
+// still partial, and an error for fragments no honest splitter produces
+// (the stream is evicted then — a sender that contradicts itself cannot be
+// reassembled).
+func (ra *Reassembler) Add(src int, f wire.Fragment, now time.Time) ([]byte, error) {
+	if f.Count == 0 || f.Index >= f.Count {
+		return nil, fmt.Errorf("netrt: fragment %d/%d malformed", f.Index, f.Count)
+	}
+	// An honest fragment train has at least fragHeadroom payload bytes per
+	// fragment (the minimum MTU minus the header budget), so Count beyond
+	// MaxMessage/fragHeadroom cannot describe an acceptable frame; checking
+	// first keeps a forged Count from sizing a huge parts slice.
+	if int64(f.Count) > int64(ra.opt.MaxMessage/fragHeadroom)+1 {
+		return nil, fmt.Errorf("netrt: fragment count %d exceeds the %d-byte frame bound", f.Count, ra.opt.MaxMessage)
+	}
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	key := reasmKey{src: src, stream: f.Stream}
+	st, ok := ra.streams[key]
+	if !ok {
+		for len(ra.streams) >= ra.opt.MaxStreams || ra.bytes+len(f.Payload) > ra.opt.MaxBytes {
+			if !ra.evictOldestLocked() {
+				break
+			}
+		}
+		st = &reasmStream{parts: make([][]byte, f.Count)}
+		ra.streams[key] = st
+	}
+	if int(f.Count) != len(st.parts) {
+		ra.dropLocked(key, st)
+		return nil, fmt.Errorf("netrt: stream %d changed fragment count", f.Stream)
+	}
+	st.last = now
+	if st.parts[f.Index] != nil {
+		return nil, nil // duplicate fragment (retransmit raced the NACK)
+	}
+	st.parts[f.Index] = f.Payload
+	st.have++
+	st.bytes += len(f.Payload)
+	ra.bytes += len(f.Payload)
+	if st.bytes > ra.opt.MaxMessage {
+		ra.dropLocked(key, st)
+		return nil, fmt.Errorf("netrt: stream %d exceeds the %d-byte frame bound", f.Stream, ra.opt.MaxMessage)
+	}
+	// Growth must honour the total bound too, not just stream creation:
+	// otherwise MaxStreams tiny streams could each swell toward MaxMessage
+	// and pin MaxStreams×MaxMessage. Evicting may displace this very
+	// stream; the frame is then lost like any other and the protocol
+	// layers above repair it.
+	for ra.bytes > ra.opt.MaxBytes {
+		if !ra.evictOldestLocked() {
+			break
+		}
+		if _, alive := ra.streams[key]; !alive {
+			return nil, nil
+		}
+	}
+	if st.have < len(st.parts) {
+		return nil, nil
+	}
+	msg := make([]byte, 0, st.bytes)
+	for _, p := range st.parts {
+		msg = append(msg, p...)
+	}
+	ra.bytes -= st.bytes
+	delete(ra.streams, key)
+	ra.completed++
+	return msg, nil
+}
+
+// Sweep evicts streams idle past StaleAfter and returns repair requests
+// for incomplete streams that have been quiet for NackDelay and still have
+// repair rounds left.
+func (ra *Reassembler) Sweep(now time.Time) []NackRequest {
+	ra.mu.Lock()
+	defer ra.mu.Unlock()
+	var reqs []NackRequest
+	for key, st := range ra.streams {
+		if now.Sub(st.last) >= ra.opt.StaleAfter {
+			ra.dropLocked(key, st)
+			continue
+		}
+		if st.nacks >= ra.opt.MaxNacks ||
+			now.Sub(st.last) < ra.opt.NackDelay || now.Sub(st.lastNack) < ra.opt.NackDelay {
+			continue
+		}
+		missing := make([]uint32, 0, len(st.parts)-st.have)
+		for i, p := range st.parts {
+			if p == nil {
+				missing = append(missing, uint32(i))
+				if len(missing) >= ra.opt.MaxNackIndices {
+					break
+				}
+			}
+		}
+		st.nacks++
+		st.lastNack = now
+		reqs = append(reqs, NackRequest{Src: key.src, Stream: key.stream, Missing: missing})
+	}
+	return reqs
+}
+
+// dropLocked removes one stream and counts the eviction.
+func (ra *Reassembler) dropLocked(key reasmKey, st *reasmStream) {
+	ra.bytes -= st.bytes
+	delete(ra.streams, key)
+	ra.evicted++
+}
+
+// evictOldestLocked drops the stream with the oldest last-arrival time; it
+// reports false when there is nothing left to evict.
+func (ra *Reassembler) evictOldestLocked() bool {
+	var oldestKey reasmKey
+	var oldest *reasmStream
+	for key, st := range ra.streams {
+		if oldest == nil || st.last.Before(oldest.last) {
+			oldestKey, oldest = key, st
+		}
+	}
+	if oldest == nil {
+		return false
+	}
+	ra.dropLocked(oldestKey, oldest)
+	return true
+}
+
+// --- retransmit buffer ---
+
+// fragSender is one local peer's send-side fragment state: a monotonically
+// increasing stream id and a FIFO-bounded buffer of the fragment datagrams
+// of recent streams, kept so NACKs can be served without re-encoding (or
+// re-reading) the original message.
+type fragSender struct {
+	mu       sync.Mutex
+	next     uint64
+	streams  map[uint64]*sentStream
+	order    []uint64
+	bytes    int
+	maxBytes int
+}
+
+type sentStream struct {
+	to     int
+	dgrams [][]byte
+	bytes  int
+}
+
+func newFragSender(maxBytes int) *fragSender {
+	return &fragSender{streams: map[uint64]*sentStream{}, maxBytes: maxBytes}
+}
+
+// register stores a stream's encoded fragment datagrams for NACK service,
+// evicting oldest streams past the byte bound, and returns the stream id
+// the datagrams were built against (the caller allocated it via nextID).
+func (fs *fragSender) register(stream uint64, to int, dgrams [][]byte) {
+	bytes := 0
+	for _, d := range dgrams {
+		bytes += len(d)
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.streams[stream] = &sentStream{to: to, dgrams: dgrams, bytes: bytes}
+	fs.order = append(fs.order, stream)
+	fs.bytes += bytes
+	for fs.bytes > fs.maxBytes && len(fs.order) > 1 {
+		old := fs.order[0]
+		fs.order = fs.order[1:]
+		if st, ok := fs.streams[old]; ok {
+			fs.bytes -= st.bytes
+			delete(fs.streams, old)
+		}
+	}
+}
+
+// nextID allocates the next stream id.
+func (fs *fragSender) nextID() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.next++
+	return fs.next
+}
+
+// lookup returns the datagrams of a stream if it is still buffered and was
+// addressed to `to` — a NACK from anyone else is ignored.
+func (fs *fragSender) lookup(stream uint64, to int) [][]byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st, ok := fs.streams[stream]
+	if !ok || st.to != to {
+		return nil
+	}
+	return st.dgrams
+}
+
+// --- pacing ---
+
+// packet is one datagram queued for a paced write.
+type packet struct {
+	b  []byte
+	to *net.UDPAddr
+}
+
+// pacer is one local peer's single socket writer: every outgoing datagram
+// — messages, fragments, probes, NACKs — is submitted to its queue and
+// written by one goroutine under a token bucket, so a multi-fragment
+// install drains at the configured rate instead of bursting into the first
+// full queue. Submission never blocks; a full queue drops the datagram
+// (the loss path NACK repair and reconciliation already handle). The
+// pacer also owns the simulated-loss roll, giving tests a precise
+// every-datagram loss point.
+//
+// Timestamps (transmit stamps, echo holds) are taken when a datagram is
+// built, so time spent queued here counts toward the RTT the far side
+// measures. That is deliberate: pacer queueing is genuine path delay, the
+// same congestion any real bottleneck adds, and the RTT EWMA smooths the
+// transient inflation a bulk transfer causes. Consumers wanting
+// uncongested floors should probe when idle (ProbeAll/Gossip already do).
+type pacer struct {
+	conn    *net.UDPConn
+	rate    float64 // bytes per second; 0 = unpaced
+	burst   float64
+	loss    float64
+	rng     *rand.Rand // owned by the drain goroutine
+	ch      chan packet
+	done    chan struct{}
+	dropped *atomic.Uint64
+}
+
+// pacerQueue bounds the datagrams queued behind a paced socket.
+const pacerQueue = 8192
+
+func newPacer(conn *net.UDPConn, rate, burst float64, loss float64, seed int64, dropped *atomic.Uint64) *pacer {
+	return &pacer{
+		conn:    conn,
+		rate:    rate,
+		burst:   burst,
+		loss:    loss,
+		rng:     rand.New(rand.NewSource(seed)),
+		ch:      make(chan packet, pacerQueue),
+		done:    make(chan struct{}),
+		dropped: dropped,
+	}
+}
+
+// submit queues one datagram; it reports false (and counts a drop) when
+// the queue is full.
+func (p *pacer) submit(b []byte, to *net.UDPAddr) bool {
+	select {
+	case p.ch <- packet{b: b, to: to}:
+		return true
+	default:
+		p.dropped.Add(1)
+		return false
+	}
+}
+
+// loop drains the queue until the pacer is stopped. Token refill happens
+// lazily per packet; waits are sliced so shutdown is never held hostage by
+// a low rate.
+func (p *pacer) loop() {
+	tokens := p.burst
+	last := time.Now()
+	for {
+		select {
+		case <-p.done:
+			return
+		case pkt := <-p.ch:
+			if p.loss > 0 && p.rng.Float64() < p.loss {
+				p.dropped.Add(1)
+				continue
+			}
+			if p.rate > 0 {
+				need := float64(len(pkt.b))
+				if need > p.burst {
+					need = p.burst // oversized datagrams cost at most one full bucket
+				}
+				for {
+					now := time.Now()
+					tokens += now.Sub(last).Seconds() * p.rate
+					last = now
+					if tokens > p.burst {
+						tokens = p.burst
+					}
+					if tokens >= need {
+						break
+					}
+					wait := time.Duration((need - tokens) / p.rate * float64(time.Second))
+					if wait > 10*time.Millisecond {
+						wait = 10 * time.Millisecond
+					}
+					select {
+					case <-p.done:
+						return
+					case <-time.After(wait):
+					}
+				}
+				tokens -= need
+			}
+			_, _ = p.conn.WriteToUDP(pkt.b, pkt.to)
+		}
+	}
+}
+
+// stop ends the drain goroutine; queued datagrams are abandoned.
+func (p *pacer) stop() { close(p.done) }

@@ -17,6 +17,14 @@
 // on a smoothed RTT without dedicated probes. Explicit ping/pong probes
 // (ProbeAll) prime the table before traffic flows, and Latency feeds the
 // measured half-RTTs to the planner (Vivaldi's input in the prototype).
+//
+// Frames larger than the configured MTU do not fit one datagram; they take
+// the reliable large-message path (frag.go): MTU-sized fragments,
+// NACK-driven selective retransmission from a bounded retransmit buffer,
+// bounded reassembly with stale-stream eviction, and token-bucket pacing on
+// every outgoing datagram. Transport.MaxFrame reports the path's ceiling
+// (Options.MaxMessage) so bulk senders — the install multicast — can size
+// their messages to it.
 package netrt
 
 import (
@@ -40,11 +48,20 @@ const (
 	frameMsg  = 1 // header + wire message frame
 	framePing = 2 // RTT probe
 	framePong = 3 // RTT probe reply
+	frameFrag = 4 // one fragment of a frame larger than the MTU
+	frameNack = 5 // retransmission request for missing fragments
 )
 
-// maxDatagram is the largest frame Send will put on the wire (the UDP
-// payload ceiling); oversized messages are dropped and counted.
+// maxDatagram is the absolute UDP payload ceiling; the configured MTU is
+// clamped to it.
 const maxDatagram = 65507
+
+// minMTU keeps the fragment payload positive after the framing headroom.
+const minMTU = 2 * fragHeadroom
+
+// sweepInterval is how often the runtime scans reassemblers for stale
+// streams and NACK-worthy gaps.
+const sweepInterval = 20 * time.Millisecond
 
 // Options tunes the socket runtime.
 type Options struct {
@@ -57,6 +74,33 @@ type Options struct {
 	RTTAlpha float64
 	// ReadBuffer, when positive, sets SO_RCVBUF on every local socket.
 	ReadBuffer int
+	// MTU is the largest datagram Send writes; frames that do not fit are
+	// split into fragments reassembled on the far side and repaired by
+	// NACK retransmission. Default 1400 (a practical path MTU), clamped to
+	// [128, 65507].
+	MTU int
+	// Pace is the outgoing token-bucket rate per local peer in bytes per
+	// second — the discipline that keeps a multi-fragment install from
+	// burst-dropping at the first full queue. Default 8 MiB/s; negative
+	// disables pacing.
+	Pace int
+	// Loss simulates datagram loss: every outgoing datagram (messages,
+	// fragments, probes, NACKs alike) is dropped with this probability
+	// just before the socket write. Zero in production; tests use it to
+	// prove NACK repair end-to-end.
+	Loss float64
+	// MaxMessage bounds one logical frame through the fragmentation path
+	// (it is also Transport.MaxFrame). Default 4 MiB.
+	MaxMessage int
+	// ReassemblyBuffer bounds per-local-peer partial-stream memory.
+	// Default 2×MaxMessage.
+	ReassemblyBuffer int
+	// RetransmitBuffer bounds per-local-peer sent-fragment memory held for
+	// NACK service. Default 2×MaxMessage.
+	RetransmitBuffer int
+	// StaleAfter evicts an incomplete reassembly stream that has received
+	// nothing for this long. Default 3s.
+	StaleAfter time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -66,8 +110,38 @@ func (o Options) withDefaults() Options {
 	if o.RTTAlpha <= 0 || o.RTTAlpha > 1 {
 		o.RTTAlpha = 0.3
 	}
+	if o.MTU == 0 {
+		o.MTU = 1400
+	}
+	if o.MTU < minMTU {
+		o.MTU = minMTU
+	}
+	if o.MTU > maxDatagram {
+		o.MTU = maxDatagram
+	}
+	if o.Pace == 0 {
+		o.Pace = 8 << 20
+	}
+	if o.Pace < 0 {
+		o.Pace = 0 // unpaced
+	}
+	if o.MaxMessage <= 0 {
+		o.MaxMessage = 4 << 20
+	}
+	if o.ReassemblyBuffer < o.MaxMessage {
+		o.ReassemblyBuffer = 2 * o.MaxMessage
+	}
+	if o.RetransmitBuffer < o.MaxMessage {
+		o.RetransmitBuffer = 2 * o.MaxMessage
+	}
+	if o.StaleAfter <= 0 {
+		o.StaleAfter = 3 * time.Second
+	}
 	return o
 }
+
+// fragPayload is the fragment payload size the configured MTU leaves.
+func (o Options) fragPayload() int { return o.MTU - fragHeadroom }
 
 // Runtime hosts a contiguous-or-not set of local peers over UDP sockets.
 // It implements runtime.Runtime, runtime.Transport, and runtime.Locality.
@@ -88,6 +162,18 @@ type Runtime struct {
 	down   []atomic.Bool
 	closed atomic.Bool
 	wg     sync.WaitGroup
+	done   chan struct{} // closed by Shutdown; stops pacers and the sweeper
+
+	// Per local peer: the paced single socket writer, the send-side
+	// fragment state (stream ids + retransmit buffer), and the bounded
+	// reassembler. All nil for non-local peers.
+	pacers []*pacer
+	frags  []*fragSender
+	reasm  []*Reassembler
+
+	// Fragmentation counters (see FragStats).
+	fragStreams, fragsSent, retransmits, nacksSent atomic.Uint64
+	maxStreamFrags                                 atomic.Uint64
 
 	// Per local peer: the newest transmit stamp received from each remote
 	// (for echoing) and the smoothed RTT per remote. Guarded by peerMu of
@@ -169,12 +255,20 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		planRng:    rand.New(rand.NewSource(opt.Seed)),
 		hands:      make([]runtime.Handler, n),
 		down:       make([]atomic.Bool, n),
+		done:       make(chan struct{}),
+		pacers:     make([]*pacer, n),
+		frags:      make([]*fragSender, n),
+		reasm:      make([]*Reassembler, n),
 		peerMu:     make([]sync.Mutex, n),
 		echo:       make([]map[int]echoState, n),
 		rtt:        make([]map[int]time.Duration, n),
 		nodes:      make([]*vivaldi.Node, n),
 		peerCoords: make([]vivaldi.Coordinate, n),
 		peerErrs:   make([]float64, n),
+	}
+	burst := float64(64 << 10)
+	if b := float64(4 * opt.MTU); b > burst {
+		burst = b
 	}
 	for _, p := range local {
 		r.isLocal[p] = true
@@ -185,15 +279,68 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		if opt.ReadBuffer > 0 {
 			_ = conns[p].SetReadBuffer(opt.ReadBuffer)
 		}
+		r.pacers[p] = newPacer(conns[p], float64(opt.Pace), burst, opt.Loss,
+			opt.Seed*104729+int64(p)+1, &r.dropped)
+		r.frags[p] = newFragSender(opt.RetransmitBuffer)
+		r.reasm[p] = NewReassembler(ReasmOptions{
+			MaxMessage:     opt.MaxMessage,
+			MaxBytes:       opt.ReassemblyBuffer,
+			StaleAfter:     opt.StaleAfter,
+			MaxNackIndices: (opt.MTU - 32) / 5, // one NACK must fit one datagram
+		})
 		r.boxes[p] = actor.NewMailbox()
-		r.wg.Add(2)
+		r.wg.Add(3)
 		go func(box *actor.Mailbox) {
 			defer r.wg.Done()
 			box.Loop()
 		}(r.boxes[p])
 		go r.recvLoop(p)
+		go func(pc *pacer) {
+			defer r.wg.Done()
+			pc.loop()
+		}(r.pacers[p])
+	}
+	if len(local) > 0 {
+		r.wg.Add(1)
+		go r.sweepLoop()
 	}
 	return r
+}
+
+// sweepLoop periodically evicts stale reassembly streams and sends the
+// NACKs repair wants, for every local peer.
+func (r *Runtime) sweepLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(sweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case now := <-t.C:
+			for _, p := range r.local {
+				for _, req := range r.reasm[p].Sweep(now) {
+					r.sendNack(p, req)
+				}
+			}
+		}
+	}
+}
+
+// sendNack writes one retransmission request from a local peer to the
+// sender of an incomplete stream.
+func (r *Runtime) sendNack(from int, req NackRequest) {
+	if req.Src < 0 || req.Src >= r.n || r.down[from].Load() || r.down[req.Src].Load() {
+		return
+	}
+	var w wire.Buffer
+	w.PutByte(frameNack)
+	w.PutUvarint(uint64(from))
+	w.PutUvarint(uint64(req.Src))
+	wire.EncodeNack(&w, wire.Nack{Stream: req.Stream, Missing: req.Missing})
+	if r.pacers[from].submit(w.Bytes(), r.addrs[req.Src]) {
+		r.nacksSent.Add(1)
+	}
 }
 
 // NewGroup builds one federation of several Runtimes inside a single
@@ -300,14 +447,17 @@ func (r *Runtime) Exec(peer int, fn func()) bool {
 	return r.boxes[peer].Post(fn)
 }
 
-// Shutdown closes every local socket (unblocking the receive loops), stops
-// mailbox intake, drains queued work, and joins all goroutines. Afterwards
-// local peer state may be inspected from the caller's goroutine.
+// Shutdown stops the pacers and the reassembly sweeper, closes every local
+// socket (unblocking the receive loops), stops mailbox intake, drains
+// queued work, and joins all goroutines. Afterwards local peer state may be
+// inspected from the caller's goroutine.
 func (r *Runtime) Shutdown() {
 	if r.closed.Swap(true) {
 		return
 	}
+	close(r.done)
 	for _, p := range r.local {
+		r.pacers[p].stop()
 		r.conns[p].Close()
 	}
 	for _, p := range r.local {
@@ -317,8 +467,8 @@ func (r *Runtime) Shutdown() {
 }
 
 // Stats returns cumulative transport counters: datagrams sent, messages
-// delivered into mailboxes, and messages dropped (down peers, decode
-// failures, closed mailboxes, oversized frames).
+// delivered into mailboxes, and drops (down peers, decode failures, closed
+// mailboxes, frames over MaxFrame, simulated loss, full pacer queues).
 func (r *Runtime) Stats() (sent, delivered, dropped uint64) {
 	return r.sent.Load(), r.delivered.Load(), r.dropped.Load()
 }
@@ -375,10 +525,15 @@ func (r *Runtime) Measured(a, b int) (time.Duration, bool) {
 }
 
 // Send encodes the frame header, appends the message's wire bytes, and
-// writes one UDP datagram from the sending peer's socket. The payload is
-// normally the runtime.Frame the fabric built (its Bytes go on the wire
+// submits the datagram(s) to the sending peer's paced writer. The payload
+// is normally the runtime.Frame the fabric built (its Bytes go on the wire
 // unchanged — the message was encoded exactly once); any other payload is
-// encoded here, so tests can Send bare messages.
+// encoded here, so tests can Send bare messages. A frame that fits the MTU
+// travels as a single frameMsg datagram carrying the passive RTT echo; a
+// larger frame — an install chunk of a realistic program — is split into a
+// fragment train, buffered for NACK retransmission, and reassembled on the
+// far side, so every fabric transmit shares this one path regardless of
+// size up to Options.MaxMessage.
 func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any) bool {
 	if from == to || from < 0 || from >= r.n || to < 0 || to >= r.n || !r.isLocal[from] {
 		return false
@@ -398,6 +553,10 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 		}
 		body = w.Bytes()
 	}
+	if len(body) > r.opt.MaxMessage {
+		r.dropped.Add(1)
+		return false
+	}
 
 	var w wire.Buffer
 	w.PutByte(frameMsg)
@@ -409,16 +568,91 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 	w.PutVarint(hold)
 	w.PutByte(byte(class))
 	w.PutRaw(body)
-	if w.Len() > maxDatagram {
-		r.dropped.Add(1)
-		return false
+	if w.Len() <= r.opt.MTU {
+		if r.pacers[from].submit(w.Bytes(), r.addrs[to]) {
+			r.sent.Add(1)
+		}
+		return true
 	}
-	if _, err := r.conns[from].WriteToUDP(w.Bytes(), r.addrs[to]); err != nil {
-		r.dropped.Add(1)
-		return false
-	}
-	r.sent.Add(1)
+	r.sendFragmented(from, to, body)
 	return true
+}
+
+// sendFragmented splits an over-MTU frame into a fragment train, registers
+// it with the sender's retransmit buffer, and submits every fragment to
+// the paced writer.
+func (r *Runtime) sendFragmented(from, to int, body []byte) {
+	fs := r.frags[from]
+	stream := fs.nextID()
+	frags := SplitFragments(stream, body, r.opt.fragPayload())
+	dgrams := make([][]byte, len(frags))
+	for i, f := range frags {
+		var w wire.Buffer
+		w.PutByte(frameFrag)
+		w.PutUvarint(uint64(from))
+		w.PutUvarint(uint64(to))
+		wire.EncodeFragment(&w, f)
+		dgrams[i] = w.Bytes()
+	}
+	// The datagrams embed copies of body's chunks (wire.Buffer appends), so
+	// the retransmit buffer holds them safely past the caller's frame.
+	fs.register(stream, to, dgrams)
+	for _, d := range dgrams {
+		if r.pacers[from].submit(d, r.addrs[to]) {
+			r.sent.Add(1)
+			r.fragsSent.Add(1)
+		}
+	}
+	r.fragStreams.Add(1)
+	for {
+		cur := r.maxStreamFrags.Load()
+		if uint64(len(dgrams)) <= cur || r.maxStreamFrags.CompareAndSwap(cur, uint64(len(dgrams))) {
+			break
+		}
+	}
+}
+
+// MaxFrame reports the largest frame the fragmentation path carries in one
+// Send — the runtime.Transport hint bulk senders (the install multicast)
+// size their messages from.
+func (r *Runtime) MaxFrame() int { return r.opt.MaxMessage }
+
+// FragStats reports the fragmentation layer's counters across this
+// runtime's local peers.
+type FragStats struct {
+	// StreamsSent counts fragment trains transmitted (frames over the MTU).
+	StreamsSent uint64
+	// FragsSent counts fragment datagrams submitted (first transmissions).
+	FragsSent uint64
+	// MaxStreamFrags is the longest train sent — MaxStreamFrags × the
+	// fragment payload bounds the largest frame that crossed the wire.
+	MaxStreamFrags uint64
+	// Retransmits counts fragments resent in answer to NACKs.
+	Retransmits uint64
+	// NacksSent counts repair requests this runtime's receivers issued.
+	NacksSent uint64
+	// Reassembled counts frames successfully rebuilt from fragments.
+	Reassembled uint64
+	// ReassemblyEvicted counts partial streams dropped (stale, oversized,
+	// or displaced by the memory bound).
+	ReassemblyEvicted uint64
+}
+
+// FragStats returns the fragmentation counters.
+func (r *Runtime) FragStats() FragStats {
+	st := FragStats{
+		StreamsSent:    r.fragStreams.Load(),
+		FragsSent:      r.fragsSent.Load(),
+		MaxStreamFrags: r.maxStreamFrags.Load(),
+		Retransmits:    r.retransmits.Load(),
+		NacksSent:      r.nacksSent.Load(),
+	}
+	for _, p := range r.local {
+		done, evicted := r.reasm[p].Stats()
+		st.Reassembled += done
+		st.ReassemblyEvicted += evicted
+	}
+	return st
 }
 
 // takeEcho returns the newest transmit stamp received from `to` at local
@@ -525,7 +759,7 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		w.PutVarint(stamp)
 		w.PutVarint(0) // replied immediately: no hold
 		putCoord(&w, r.nodes[peer])
-		_, _ = r.conns[peer].WriteToUDP(w.Bytes(), r.addrs[src])
+		r.pacers[peer].submit(w.Bytes(), r.addrs[src])
 
 	case framePong:
 		stamp, err := rd.Varint()
@@ -567,38 +801,95 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		if echoStamp != 0 {
 			r.observe(peer, src, now-time.Duration(echoStamp)-time.Duration(hold))
 		}
-		frame := rd.Rest()
-		msg, err := wire.DecodeMessage(frame)
+		r.deliverWire(peer, src, rd.Rest())
+
+	case frameFrag:
+		if r.down[peer].Load() {
+			r.dropped.Add(1)
+			return
+		}
+		f, err := wire.DecodeFragment(rd)
+		if err != nil || rd.Remaining() != 0 {
+			return
+		}
+		msg, err := r.reasm[peer].Add(src, f, time.Now())
 		if err != nil {
 			r.dropped.Add(1)
 			return
 		}
-		if env, ok := msg.(*wire.Envelope); ok {
-			// The envelope's SentAt was stamped against the sender's clock
-			// base, which a different process does not share. Rewrite it in
-			// the receiver's frame using the transport's measured one-way
-			// flight time — the peer derives exactly that from it (UdpCC
-			// measures RTT/2 at the transport, not via host timestamps).
-			flight := r.opt.DefaultLatency
-			if d, ok := r.Measured(peer, src); ok {
-				flight = d
-			}
-			env.SentAt = now - flight
+		if msg != nil {
+			r.deliverWire(peer, src, msg)
 		}
-		r.hmu.RLock()
-		h := r.hands[peer]
-		r.hmu.RUnlock()
-		if h == nil {
-			r.dropped.Add(1)
+
+	case frameNack:
+		// The down gate covers repair too: a "down" peer must not keep
+		// serving retransmissions (nor push them toward a peer it regards
+		// as down) or failure injection would leak deliveries.
+		if r.down[peer].Load() || r.down[src].Load() {
 			return
 		}
-		// Report the wire-frame length, not the datagram's: it is the size
-		// the sending fabric charged, so accounting agrees across backends.
-		size := len(frame)
-		if r.boxes[peer].Post(func() { h(src, msg, size) }) {
-			r.delivered.Add(1)
-		} else {
-			r.dropped.Add(1)
+		n, err := wire.DecodeNack(rd)
+		if err != nil || rd.Remaining() != 0 || len(n.Missing) == 0 {
+			return
+		}
+		r.resendFragments(peer, src, n)
+	}
+}
+
+// deliverWire decodes one complete wire frame addressed to a local peer —
+// a single-datagram frameMsg body or a reassembled fragment stream — and
+// posts it into the peer's mailbox.
+func (r *Runtime) deliverWire(peer, src int, frame []byte) {
+	msg, err := wire.DecodeMessage(frame)
+	if err != nil {
+		r.dropped.Add(1)
+		return
+	}
+	if env, ok := msg.(*wire.Envelope); ok {
+		// The envelope's SentAt was stamped against the sender's clock
+		// base, which a different process does not share. Rewrite it in
+		// the receiver's frame using the transport's measured one-way
+		// flight time — the peer derives exactly that from it (UdpCC
+		// measures RTT/2 at the transport, not via host timestamps).
+		flight := r.opt.DefaultLatency
+		if d, ok := r.Measured(peer, src); ok {
+			flight = d
+		}
+		env.SentAt = time.Since(r.start) - flight
+	}
+	r.hmu.RLock()
+	h := r.hands[peer]
+	r.hmu.RUnlock()
+	if h == nil {
+		r.dropped.Add(1)
+		return
+	}
+	// Report the wire-frame length, not the datagram's: it is the size
+	// the sending fabric charged, so accounting agrees across backends.
+	size := len(frame)
+	if r.boxes[peer].Post(func() { h(src, msg, size) }) {
+		r.delivered.Add(1)
+	} else {
+		r.dropped.Add(1)
+	}
+}
+
+// resendFragments answers a NACK at the original sender: the still-buffered
+// fragment datagrams of the stream are resubmitted to the paced writer.
+// A stream already evicted from the retransmit buffer is simply gone — the
+// receiver ages the partial stream out and the protocol layers above
+// (reconciliation, the topology service) repair the loss.
+func (r *Runtime) resendFragments(peer, src int, n wire.Nack) {
+	dgrams := r.frags[peer].lookup(n.Stream, src)
+	if dgrams == nil {
+		return
+	}
+	for _, idx := range n.Missing {
+		if int(idx) >= len(dgrams) {
+			continue
+		}
+		if r.pacers[peer].submit(dgrams[idx], r.addrs[src]) {
+			r.retransmits.Add(1)
 		}
 	}
 }
@@ -623,7 +914,7 @@ func (r *Runtime) sendPing(from, to int) {
 	w.PutUvarint(uint64(to))
 	w.PutVarint(stampNow(r.start))
 	putCoord(&w, r.nodes[from])
-	_, _ = r.conns[from].WriteToUDP(w.Bytes(), r.addrs[to])
+	r.pacers[from].submit(w.Bytes(), r.addrs[to])
 }
 
 // coordDims is the embedding dimensionality every node in the federation

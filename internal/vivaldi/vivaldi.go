@@ -43,11 +43,21 @@ type Config struct {
 	Dims int
 	// CE scales the adaptive timestep; CC scales the error EWMA.
 	CE, CC float64
+	// Gravity, when positive, is the distance scale (in ms) of a
+	// polynomial gravity well pulling coordinates toward the origin: after
+	// every update the coordinate moves (||x||/Gravity)² ms toward it.
+	// Spring forces are translation-invariant, so without this term a
+	// long-lived embedding drifts as a whole — accurate relative distances
+	// around a wandering centroid (Ledlie et al., "Network Coordinates in
+	// the Wild"). The well is negligible near the origin and steep far
+	// away, so it anchors the embedding without distorting it. Zero
+	// disables the term.
+	Gravity float64
 }
 
 // DefaultConfig returns 3-dimensional coordinates with the standard
-// constants ce = cc = 0.25.
-func DefaultConfig() Config { return Config{Dims: 3, CE: 0.25, CC: 0.25} }
+// constants ce = cc = 0.25 and a gravity scale of 256ms.
+func DefaultConfig() Config { return Config{Dims: 3, CE: 0.25, CC: 0.25, Gravity: 256} }
 
 // Node is one participant's coordinate state. It is safe for concurrent
 // use: under a live runtime the receive path updates the coordinate (one
@@ -144,6 +154,32 @@ func (n *Node) Update(rtt time.Duration, remote Coordinate, remoteErr float64) {
 	force := delta * (lat - dist)
 	for i := range n.coord {
 		n.coord[i] += force * dir[i]
+	}
+	n.applyGravity()
+}
+
+// applyGravity pulls the coordinate toward the origin by (||x||/Gravity)²
+// ms, capped so it never overshoots past the origin. Called with the lock
+// held, after each spring update — drift control, not a measurement.
+func (n *Node) applyGravity() {
+	if n.cfg.Gravity <= 0 {
+		return
+	}
+	var norm float64
+	for _, v := range n.coord {
+		norm += v * v
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-9 {
+		return
+	}
+	pull := (norm / n.cfg.Gravity) * (norm / n.cfg.Gravity)
+	if pull > norm {
+		pull = norm
+	}
+	scale := (norm - pull) / norm
+	for i := range n.coord {
+		n.coord[i] *= scale
 	}
 }
 

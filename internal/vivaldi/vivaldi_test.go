@@ -155,6 +155,75 @@ func TestNodeConcurrentAccess(t *testing.T) {
 	}
 }
 
+// centroidNorm returns the norm of the mean coordinate — the embedding's
+// whole-system translation, which gravity is supposed to control.
+func centroidNorm(s *System) float64 {
+	cfg := s.Nodes[0].cfg
+	mean := make(Coordinate, cfg.Dims)
+	for _, n := range s.Nodes {
+		c := n.Coord()
+		for i := range mean {
+			mean[i] += c[i]
+		}
+	}
+	var norm float64
+	for i := range mean {
+		mean[i] /= float64(len(s.Nodes))
+		norm += mean[i] * mean[i]
+	}
+	return math.Sqrt(norm)
+}
+
+// The gravity term is drift control: spring forces are translation-
+// invariant, so an embedding displaced as a whole would stay displaced
+// forever without it. Displace a converged system far from the origin and
+// keep updating: with gravity the centroid must be pulled back toward the
+// origin while the embedding stays accurate; without gravity it must stay
+// out where it was put — the drift gravity exists to stop.
+func TestGravityConvergesTowardOrigin(t *testing.T) {
+	const n = 40
+	oneWay := func(i, j int) time.Duration {
+		if i%2 == j%2 {
+			return 2 * time.Millisecond
+		}
+		return 30 * time.Millisecond
+	}
+	run := func(cfg Config) (centroid float64, relErr float64) {
+		s := NewSystem(n, cfg, rand.New(rand.NewSource(9)))
+		s.Run(30, 8, oneWay)
+		// Displace the whole embedding: a pure translation, invisible to
+		// the spring forces.
+		for _, node := range s.Nodes {
+			node.mu.Lock()
+			for i := range node.coord {
+				node.coord[i] += 500
+			}
+			node.mu.Unlock()
+		}
+		s.Run(150, 8, oneWay)
+		return centroidNorm(s), s.MedianRelativeError(500, oneWay)
+	}
+
+	withGrav := DefaultConfig()
+	if withGrav.Gravity <= 0 {
+		t.Fatal("DefaultConfig carries no gravity term")
+	}
+	centroid, relErr := run(withGrav)
+	noGrav := DefaultConfig()
+	noGrav.Gravity = 0
+	driftCentroid, _ := run(noGrav)
+
+	if centroid > 100 {
+		t.Fatalf("gravity left the centroid %.1fms from the origin", centroid)
+	}
+	if relErr > 0.35 {
+		t.Fatalf("gravity distorted the embedding: median relative error %.3f", relErr)
+	}
+	if driftCentroid < 500 {
+		t.Fatalf("control run without gravity recentred itself (centroid %.1fms); the test proves nothing", driftCentroid)
+	}
+}
+
 // Samples whose coordinate dimensionality does not match the node's (a
 // malformed or foreign-config wire coordinate) must be ignored, not panic.
 func TestUpdateRejectsDimensionMismatch(t *testing.T) {

@@ -1,0 +1,104 @@
+package wire
+
+import "fmt"
+
+// This file is the fragment-layer codec used by socket backends
+// (runtime/netrt) to carry frames larger than one datagram: an oversized
+// wire frame is split into fragments — `[stream id][frag index][frag
+// count][payload]` — reassembled by stream on the far side, and repaired by
+// NACK frames listing the fragment indices a receiver is still missing.
+// Fragments sit *below* EncodeMessage/DecodeMessage framing: the payloads
+// concatenate back into exactly the bytes a single-datagram frame would
+// have carried. The decoders follow the same discipline as every other
+// decoder here: counts are validated against the remaining buffer before
+// allocating, corrupt input returns an error wrapping ErrCorrupt, and
+// nothing panics (fuzz targets pin this).
+
+// Fragment is one piece of a fragmented transport frame. Index is the
+// zero-based position within the stream's Count fragments; every fragment
+// of a stream carries the same Count so a receiver can size the reassembly
+// from whichever fragment arrives first.
+type Fragment struct {
+	Stream  uint64
+	Index   uint32
+	Count   uint32
+	Payload []byte
+}
+
+// Nack asks the sender of a fragment stream to retransmit the listed
+// fragment indices.
+type Nack struct {
+	Stream  uint64
+	Missing []uint32
+}
+
+// EncodeFragment appends a fragment: stream id, index, count, then the
+// length-prefixed payload.
+func EncodeFragment(w *Buffer, f Fragment) {
+	w.PutUvarint(f.Stream)
+	w.PutUvarint(uint64(f.Index))
+	w.PutUvarint(uint64(f.Count))
+	w.PutBytes(f.Payload)
+}
+
+// DecodeFragment reads a fragment. A fragment whose index is outside its
+// own count, or whose count is zero, is corrupt — such a frame could not
+// have been produced by the splitter.
+func DecodeFragment(r *Reader) (f Fragment, err error) {
+	if f.Stream, err = r.Uvarint(); err != nil {
+		return
+	}
+	var v uint64
+	if v, err = r.Uvarint(); err != nil || v > 1<<32-1 {
+		err = ErrCorrupt
+		return
+	}
+	f.Index = uint32(v)
+	if v, err = r.Uvarint(); err != nil || v == 0 || v > 1<<32-1 {
+		err = ErrCorrupt
+		return
+	}
+	f.Count = uint32(v)
+	if f.Index >= f.Count {
+		err = fmt.Errorf("wire: fragment index %d outside count %d: %w", f.Index, f.Count, ErrCorrupt)
+		return
+	}
+	f.Payload, err = r.Bytes()
+	return
+}
+
+// EncodeNack appends a retransmission request: stream id, then the missing
+// fragment indices.
+func EncodeNack(w *Buffer, n Nack) {
+	w.PutUvarint(n.Stream)
+	w.PutUvarint(uint64(len(n.Missing)))
+	for _, idx := range n.Missing {
+		w.PutUvarint(uint64(idx))
+	}
+}
+
+// DecodeNack reads a retransmission request. The index count is bounded
+// against the remaining bytes before allocating.
+func DecodeNack(r *Reader) (n Nack, err error) {
+	if n.Stream, err = r.Uvarint(); err != nil {
+		return
+	}
+	var c uint64
+	if c, err = r.Uvarint(); err != nil || c > uint64(r.Remaining()) {
+		err = ErrCorrupt
+		return
+	}
+	if c == 0 {
+		return
+	}
+	n.Missing = make([]uint32, c)
+	for i := range n.Missing {
+		var v uint64
+		if v, err = r.Uvarint(); err != nil || v > 1<<32-1 {
+			err = ErrCorrupt
+			return
+		}
+		n.Missing[i] = uint32(v)
+	}
+	return
+}

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFragmentRoundTrip(t *testing.T) {
+	in := Fragment{Stream: 77, Index: 3, Count: 9, Payload: []byte("hello fragment")}
+	var w Buffer
+	EncodeFragment(&w, in)
+	got, err := DecodeFragment(NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stream != in.Stream || got.Index != in.Index || got.Count != in.Count ||
+		!bytes.Equal(got.Payload, in.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+	}
+	// The decoded payload must not alias the encoding (receive buffers are
+	// reused under the reassembler).
+	w.Bytes()[len(w.Bytes())-1] ^= 0xff
+	if !bytes.Equal(got.Payload, in.Payload) {
+		t.Fatal("decoded payload aliases the wire buffer")
+	}
+}
+
+func TestFragmentTruncationsAreCorrupt(t *testing.T) {
+	var w Buffer
+	EncodeFragment(&w, Fragment{Stream: 1, Index: 0, Count: 2, Payload: []byte("abcdef")})
+	full := w.Bytes()
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeFragment(NewReader(full[:i])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestFragmentRejectsBadShape(t *testing.T) {
+	cases := []Fragment{
+		{Stream: 1, Index: 2, Count: 2, Payload: nil}, // index == count
+		{Stream: 1, Index: 9, Count: 2, Payload: nil}, // index > count
+	}
+	for _, f := range cases {
+		var w Buffer
+		w.PutUvarint(f.Stream)
+		w.PutUvarint(uint64(f.Index))
+		w.PutUvarint(uint64(f.Count))
+		w.PutBytes(f.Payload)
+		if _, err := DecodeFragment(NewReader(w.Bytes())); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("fragment %+v decoded: err = %v", f, err)
+		}
+	}
+	// Count of zero.
+	var w Buffer
+	w.PutUvarint(1)
+	w.PutUvarint(0)
+	w.PutUvarint(0)
+	w.PutBytes(nil)
+	if _, err := DecodeFragment(NewReader(w.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("zero-count fragment decoded: err = %v", err)
+	}
+}
+
+func TestNackRoundTrip(t *testing.T) {
+	for _, in := range []Nack{
+		{Stream: 5},
+		{Stream: 123456, Missing: []uint32{0, 7, 8, 4096}},
+	} {
+		var w Buffer
+		EncodeNack(&w, in)
+		got, err := DecodeNack(NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Stream != in.Stream || len(got.Missing) != len(in.Missing) {
+			t.Fatalf("round trip mismatch: %+v vs %+v", got, in)
+		}
+		for i := range in.Missing {
+			if got.Missing[i] != in.Missing[i] {
+				t.Fatalf("missing[%d] = %d, want %d", i, got.Missing[i], in.Missing[i])
+			}
+		}
+	}
+}
+
+func TestNackBoundsAllocation(t *testing.T) {
+	// A huge claimed index count with no bytes behind it must fail before
+	// allocating, not after.
+	var w Buffer
+	w.PutUvarint(1)
+	w.PutUvarint(1 << 40)
+	if _, err := DecodeNack(NewReader(w.Bytes())); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized nack count decoded: err = %v", err)
+	}
+	var w2 Buffer
+	EncodeNack(&w2, Nack{Stream: 9, Missing: []uint32{1, 2, 3}})
+	full := w2.Bytes()
+	for i := 0; i < len(full); i++ {
+		if _, err := DecodeNack(NewReader(full[:i])); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: err = %v", i, err)
+		}
+	}
+}

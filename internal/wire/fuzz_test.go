@@ -85,3 +85,27 @@ func FuzzDecodeSummary(f *testing.F) {
 func FuzzDecodeValue(f *testing.F) {
 	fuzzDecoder(f, func(r *Reader) (any, error) { return r.Value() })
 }
+
+// The fragment-layer decoders are not message kinds (they sit below the
+// message framing, on netrt's datagram path), so they seed from their own
+// valid encodings instead of sampleMessages.
+
+func FuzzDecodeFragment(f *testing.F) {
+	var w Buffer
+	EncodeFragment(&w, Fragment{Stream: 7, Index: 2, Count: 5, Payload: []byte("payload")})
+	f.Add(w.Bytes())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, err := DecodeFragment(NewReader(b))
+		requireCorrupt(t, err)
+	})
+}
+
+func FuzzDecodeNack(f *testing.F) {
+	var w Buffer
+	EncodeNack(&w, Nack{Stream: 7, Missing: []uint32{0, 3, 4}})
+	f.Add(w.Bytes())
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, err := DecodeNack(NewReader(b))
+		requireCorrupt(t, err)
+	})
+}

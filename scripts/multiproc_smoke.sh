@@ -6,6 +6,12 @@
 # sensor contributes to the window. Runs with -vivaldi, so planning comes
 # from gossiped coordinates and convergence is logged.
 #
+# The run deliberately squeezes the MTU (-mtu 160) and plans deep trees
+# (bf 2), so the query's install messages exceed one datagram: the install
+# multicast only reaches the workers through netrt's fragmentation +
+# reassembly path, proving it end-to-end across real processes. The
+# coordinator's transport summary must report fragment streams.
+#
 # Usage: scripts/multiproc_smoke.sh   (from the repo root)
 # Env:   SMOKE_BASE_PORT (default 47300), SMOKE_DURATION (default 20s)
 set -euo pipefail
@@ -14,6 +20,7 @@ PEERS=12
 BASE_PORT="${SMOKE_BASE_PORT:-47300}"
 JOIN="127.0.0.1:$((BASE_PORT + 99))"
 DUR="${SMOKE_DURATION:-20s}"
+MTU=160
 
 tmp="$(mktemp -d)"
 pids=()
@@ -28,12 +35,16 @@ for i in $(seq 0 $((PEERS - 1))); do
   echo "127.0.0.1:$((BASE_PORT + i))"
 done > "$tmp/peers.txt"
 
+# Deep trees (bf 2) make the install messages to the root's subtrees larger
+# than the squeezed MTU, so installation exercises fragmentation.
+echo "query peers as count() from sensors window time 1s slide 1s trees 6 bf 2" > "$tmp/query.msl"
+
 # Workers outlive the coordinator's -duration; its hang-up ends their run.
-"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 4-7 -join "$JOIN" -vivaldi -duration 90s > "$tmp/w1.log" 2>&1 &
+"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 4-7 -join "$JOIN" -vivaldi -mtu "$MTU" -msl "$tmp/query.msl" -duration 90s > "$tmp/w1.log" 2>&1 &
 pids+=($!)
-"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 8-11 -join "$JOIN" -vivaldi -duration 90s > "$tmp/w2.log" 2>&1 &
+"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 8-11 -join "$JOIN" -vivaldi -mtu "$MTU" -msl "$tmp/query.msl" -duration 90s > "$tmp/w2.log" 2>&1 &
 pids+=($!)
-"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 0-3 -listen "$JOIN" -vivaldi -duration "$DUR" > "$tmp/coord.log" 2>&1 &
+"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 0-3 -listen "$JOIN" -vivaldi -mtu "$MTU" -msl "$tmp/query.msl" -duration "$DUR" > "$tmp/coord.log" 2>&1 &
 coord=$!
 pids+=("$coord")
 
@@ -61,4 +72,13 @@ if ! grep -q "planned from gossiped coordinates: true" "$tmp/coord.log"; then
   echo "FAIL: planning did not use gossiped Vivaldi coordinates"
   exit 1
 fi
-echo "OK: multi-process run reached completeness=$PEERS from gossip-planned trees"
+# The transport summary (with the fragmentation counters) prints when the
+# coordinator's -duration elapses; wait for it before judging.
+wait "$coord" 2>/dev/null || true
+if ! grep -Eq "frag streams=[1-9]" "$tmp/coord.log"; then
+  echo "---- coordinator transport summary missing fragmentation ----"
+  tail -3 "$tmp/coord.log"
+  echo "FAIL: coordinator never fragmented a frame — the install fit the squeezed MTU"
+  exit 1
+fi
+echo "OK: multi-process run reached completeness=$PEERS from gossip-planned trees, installs crossed the fragmentation path"
