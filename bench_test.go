@@ -479,3 +479,79 @@ func BenchmarkClockSample(b *testing.B) {
 		d.Sample(rng)
 	}
 }
+
+// --- Replanning ---
+
+// BenchmarkReplanDecision measures the drift monitor's per-poll work for
+// one 200-peer query: score the deployed tree set under the current
+// embedding, build a fresh candidate, and score it — the cost paid every
+// monitor interval whether or not a replan fires.
+func BenchmarkReplanDecision(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(200, rng)
+	deployed := plan.Build(pts, 0, 16, 4, rng)
+	model := plan.CoordModel{Coords: pts}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cur := plan.Quality(model, deployed)
+		cand := plan.Build(pts, 0, 16, 4, rng)
+		if plan.Quality(model, cand) <= 0 || cur <= 0 {
+			b.Fatal("degenerate quality")
+		}
+	}
+}
+
+// BenchmarkReplanCycleSim measures one full epoch migration on the
+// deterministic backend: install the next epoch of a live 40-peer query,
+// run until every member acks, completeness catches up, the root retires
+// the old epoch, and its drained state is gone — the end-to-end cost of
+// one make-before-break replan cycle (reported in simulated events, timed
+// in real ns).
+func BenchmarkReplanCycleSim(b *testing.B) {
+	rt := simrt.NewPaper(77, 40, simrt.TopoOptions{Stubs: 8, Transits: 2})
+	fab, err := mortar.NewFabric(rt, nil, mortar.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(40, rng)
+	issue := rt.Now()
+	mk := func(seq uint64, epoch uint32) *mortar.QueryDef {
+		meta := mortar.QueryMeta{
+			Name: "cyc", Seq: seq, Epoch: epoch, OpName: "sum",
+			Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: time.Second, Slide: time.Second},
+			Root:      0,
+			IssuedSim: issue,
+		}
+		def, err := fab.Compile(meta, nil, pts, 8, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return def
+	}
+	if err := fab.Install(0, mk(1, 0)); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		i := i
+		rt.After(time.Duration(i)*25*time.Millisecond, func() {
+			rt.Every(time.Second, func() { fab.Inject(i, tuple.Raw{Vals: []float64{1}}) })
+		})
+	}
+	rt.RunFor(15 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		epoch := uint32(i + 1)
+		if err := fab.Install(0, mk(uint64(i+2), epoch)); err != nil {
+			b.Fatal(err)
+		}
+		retireTarget := uint64(i + 1)
+		for step := 0; fab.Stats.EpochsRetired.Load() < retireTarget && step < 120; step++ {
+			rt.RunFor(time.Second)
+		}
+		if fab.Stats.EpochsRetired.Load() < retireTarget {
+			b.Fatal("migration did not complete")
+		}
+		rt.RunFor(10 * time.Second) // drain the retired epoch
+	}
+}

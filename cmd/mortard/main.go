@@ -21,7 +21,18 @@
 //     plans from the gossiped embedding (no coordinator-local probing),
 //     and convergence is logged. -mtu sets the datagram size above which
 //     frames fragment (with NACK repair and reassembly); -pace sets the
-//     token-bucket rate outgoing datagrams drain at.
+//     token-bucket rate outgoing datagrams drain at; -vivaldi-height
+//     embeds with height-vector coordinates (access-link latency).
+//
+// With -replan (live and UDP coordinator modes) the process monitors the
+// latency view for drift: when a query's deployed tree set costs more
+// than -drift-threshold above what a fresh plan would, the query is
+// replanned into its next epoch and migrated live — both epochs run side
+// by side, tuples flow through both tree sets, and the old epoch is
+// retired only after every member acks the new wiring and its
+// completeness catches up (make-before-break). Each replan logs the old
+// and new predicted cost; the end-of-run transport summary counts
+// retired epochs.
 //
 // Usage:
 //
@@ -68,6 +79,9 @@ func main() {
 		vivaldiM = flag.Bool("vivaldi", false, "UDP mode: run decentralized Vivaldi — every process gossips coordinates, the coordinator plans from them (no coordinator-local probing) and logs convergence")
 		mtu      = flag.Int("mtu", 0, "UDP mode: datagram MTU — frames that do not fit are fragmented, NACK-repaired, and reassembled (0 = netrt default, 1400)")
 		pace     = flag.Int("pace", 0, "UDP mode: outgoing token-bucket rate in bytes/sec per local peer (0 = netrt default, 8 MiB/s; negative = unpaced)")
+		height   = flag.Bool("vivaldi-height", false, "UDP mode: embed with Vivaldi height-vector coordinates (models access-link latency; all processes must agree)")
+		replan   = flag.Bool("replan", false, "coordinator: monitor the embedding for drift and live-replan queries into new epochs (make-before-break migration)")
+		driftThr = flag.Float64("drift-threshold", 0.25, "with -replan: relative cost degradation of the deployed plan versus a fresh candidate that triggers a replan")
 	)
 	flag.Parse()
 
@@ -87,11 +101,12 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	if *peersFil != "" {
 		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration,
-			netrt.Options{Seed: *seed, MTU: *mtu, Pace: *pace}, *vivaldiM)
+			netrt.Options{Seed: *seed, MTU: *mtu, Pace: *pace, VivaldiHeight: *height},
+			*vivaldiM, *replan, *driftThr)
 		return
 	}
 	if *live {
-		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup)
+		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup, *replan, *driftThr)
 		return
 	}
 
@@ -128,7 +143,7 @@ func fatal(err error) {
 
 // runLive executes the same program on the goroutine-per-peer runtime and
 // sleeps through real time instead of stepping a simulator.
-func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64) {
+func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64, replan bool, driftThr float64) {
 	rt := livert.New(peers, livert.Options{
 		Seed:     seed,
 		MinDelay: 500 * time.Microsecond,
@@ -139,6 +154,10 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	fed, err := federation.NewRuntime(rt, prog, rng)
 	if err != nil {
 		fatal(err)
+	}
+	var mon *federation.Monitor
+	if replan {
+		mon = startReplanMonitor(fed, driftThr)
 	}
 	fed.PrintResults(os.Stdout)
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
@@ -157,10 +176,31 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	} else {
 		time.Sleep(duration)
 	}
+	if mon != nil {
+		mon.Stop() // before Shutdown, so no poll races a dead runtime
+	}
 	rt.Shutdown()
 	sent, delivered, dropped, duplicated := rt.Stats()
-	fmt.Printf("# live transport: sent=%d delivered=%d dropped=%d duplicated=%d\n",
-		sent, delivered, dropped, duplicated)
+	fmt.Printf("# live transport: sent=%d delivered=%d dropped=%d duplicated=%d epochs_retired=%d\n",
+		sent, delivered, dropped, duplicated, fed.Fab.Stats.EpochsRetired.Load())
+}
+
+// startReplanMonitor arms drift-triggered live replanning, logging every
+// migration's cost delta.
+func startReplanMonitor(fed *federation.Federation, driftThr float64) *federation.Monitor {
+	return fed.StartMonitor(federation.MonitorOptions{
+		Threshold: driftThr,
+		OnReplan: func(r federation.ReplanResult) {
+			fmt.Printf("# replan query=%s epoch=%d cost %.2fms -> %.2fms (from_coords=%v)\n",
+				r.Query, r.Epoch,
+				float64(r.OldCost)/float64(time.Millisecond),
+				float64(r.NewCost)/float64(time.Millisecond),
+				r.FromCoords)
+		},
+		OnError: func(query string, err error) {
+			fmt.Printf("# replan query=%s FAILED: %v\n", query, err)
+		},
+	})
 }
 
 // runNet executes the program across separate processes over UDP: this
@@ -169,7 +209,7 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 // every process runs decentralized Vivaldi: coordinates spread on probe
 // gossip and heartbeats, and the coordinator plans from the gossiped
 // embedding instead of its own probes.
-func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn bool) {
+func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn, replan bool, driftThr float64) {
 	dir, err := netrt.LoadDirectory(peersFile)
 	if err != nil {
 		fatal(err)
@@ -226,16 +266,28 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	if vivaldiOn {
 		fmt.Printf("# planned from gossiped coordinates: %v\n", fed.PlannedFromCoords)
 	}
+	var mon *federation.Monitor
+	if replan {
+		// The monitor needs the coordinator's view of the embedding to
+		// keep tracking the network, so gossip continues in the
+		// background for the whole run.
+		go rt.Gossip(int(duration/(500*time.Millisecond))+10, 3, 500*time.Millisecond)
+		mon = startReplanMonitor(fed, driftThr)
+	}
 	fed.PrintResults(os.Stdout)
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
 		return tuple.Raw{Vals: []float64{1}}
 	}, rng)
 	time.Sleep(duration)
+	if mon != nil {
+		mon.Stop() // before Shutdown, so no poll races a dead runtime
+	}
 	rt.Shutdown()
 	sent, delivered, dropped := rt.Stats()
 	fs := rt.FragStats()
-	fmt.Printf("# udp transport: sent=%d delivered=%d dropped=%d frag streams=%d frags=%d retrans=%d nacks=%d reassembled=%d\n",
-		sent, delivered, dropped, fs.StreamsSent, fs.FragsSent, fs.Retransmits, fs.NacksSent, fs.Reassembled)
+	fmt.Printf("# udp transport: sent=%d delivered=%d dropped=%d frag streams=%d frags=%d retrans=%d nacks=%d reassembled=%d epochs_retired=%d\n",
+		sent, delivered, dropped, fs.StreamsSent, fs.FragsSent, fs.Retransmits, fs.NacksSent, fs.Reassembled,
+		fed.Fab.Stats.EpochsRetired.Load())
 	if vivaldiOn {
 		med, pairs := rt.CoordError()
 		fmt.Printf("# vivaldi final: median |coord dist - measured| = %.3fms over %d pairs\n", med, pairs)

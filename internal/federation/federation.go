@@ -47,6 +47,19 @@ type CoordSource interface {
 	Coordinates() (coords []vivaldi.Coordinate, errs []float64, known []bool)
 }
 
+// heightSource is implemented by runtimes whose gossiped coordinates use
+// the Vivaldi height-vector model: the last component of every coordinate
+// is the node's height, and distance predictions must add both heights.
+type heightSource interface {
+	VivaldiHeight() bool
+}
+
+// coordHeight reports whether a runtime's coordinates carry heights.
+func coordHeight(rt runtime.Runtime) bool {
+	h, ok := rt.(heightSource)
+	return ok && h.VivaldiHeight()
+}
+
 // Federation is a running set of queries over a node set.
 type Federation struct {
 	Fab  *mortar.Fabric
@@ -55,18 +68,24 @@ type Federation struct {
 	// Sim is the driving simulator; nil when the federation runs on a
 	// non-simulated backend (use the backend's own lifecycle then).
 	Sim *eventsim.Sim
-	// Model is the latency view the queries were planned against:
-	// coordinate distance when planning used gossiped coordinates,
-	// measured transport latency otherwise.
+	// Model is the latency view the queries were *initially* planned
+	// against: coordinate distance when planning used gossiped
+	// coordinates, measured transport latency otherwise. It is set once
+	// by the constructor and never mutated afterwards (replans evaluate a
+	// fresh view internally and report costs in ReplanResult instead).
 	Model plan.LatencyModel
 	// PlannedFromCoords reports whether planning consumed gossiped Vivaldi
 	// coordinates (a CoordSource runtime with full coverage) instead of
 	// running a coordinator-local embedding over Transport.Latency.
 	PlannedFromCoords bool
 
-	defs map[string]*mortar.QueryDef
-	down []int
-	seq  uint64
+	// mu guards defs and seq: the replanning monitor mutates them from its
+	// own goroutine while the driving goroutine reads definitions.
+	mu      sync.Mutex
+	defs    map[string]*mortar.QueryDef
+	down    []int
+	seq     uint64
+	planRng *rand.Rand // lazy; replanning only — never perturbs the setup rng stream
 }
 
 // New plans and installs every query of prog over net's hosts, driven by
@@ -101,7 +120,7 @@ func NewRuntime(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand) (*Federat
 	coords := gossipedCoords(rt, n)
 	if coords != nil {
 		f.PlannedFromCoords = true
-		f.Model = plan.CoordModel{Coords: coords}
+		f.Model = plan.CoordModel{Coords: coords, Height: coordHeight(rt)}
 	} else {
 		sys := vivaldi.NewSystem(n, vivaldi.DefaultConfig(), rng)
 		sys.Run(10, 8, func(i, j int) time.Duration { return tr.Latency(i, j) })
@@ -188,8 +207,12 @@ func NewWorker(rt runtime.Runtime) (*Federation, error) {
 	return &Federation{Fab: fab, Rt: rt, defs: map[string]*mortar.QueryDef{}}, nil
 }
 
-// Def returns the compiled definition of a query.
-func (f *Federation) Def(name string) *mortar.QueryDef { return f.defs[name] }
+// Def returns the compiled definition of a query — the newest epoch's.
+func (f *Federation) Def(name string) *mortar.QueryDef {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.defs[name]
+}
 
 // StartSensors emits one tuple per period per peer using gen, with
 // per-peer phase jitter. gen runs inside each peer's serialization domain;

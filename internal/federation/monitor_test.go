@@ -1,0 +1,222 @@
+package federation
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/mortar"
+	"repro/internal/msl"
+	"repro/internal/plan"
+	"repro/internal/runtime/livert"
+	"repro/internal/tuple"
+)
+
+// shiftTopo is a PairDelay topology whose clustering can be flipped
+// mid-run: before the shift peers cluster by i % 3, afterwards by i / 4.
+// Intra-cluster pairs are 1ms apart, inter-cluster 40ms — a route change
+// that re-homes every peer.
+type shiftTopo struct {
+	shifted atomic.Bool
+}
+
+func (s *shiftTopo) delay(a, b int) time.Duration {
+	var ca, cb int
+	if s.shifted.Load() {
+		ca, cb = a/4, b/4
+	} else {
+		ca, cb = a%3, b%3
+	}
+	if ca == cb {
+		return time.Millisecond
+	}
+	return 40 * time.Millisecond
+}
+
+// The drift monitor on a live runtime: a 12-peer federation plans for one
+// topology, the topology shifts, and the monitor must notice the deployed
+// plan's degradation, replan into the next epoch with a strictly lower
+// predicted cost, and complete the make-before-break migration — full
+// completeness throughout, old epoch drained to zero. Run under -race by
+// the tier-1 suite.
+func TestMonitorReplansOnDrift(t *testing.T) {
+	const peers = 12
+	topo := &shiftTopo{}
+	rt := livert.New(peers, livert.Options{Seed: 5, PairDelay: topo.delay})
+	prog, err := msl.Parse("query q as count() from sensors window time 500ms slide 500ms trees 2 bf 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := NewRuntime(rt, prog, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	winMax := map[int64]int{}
+	epochFull := map[uint32]bool{}
+	fed.Fab.SubscribeAll(func(r mortar.Result) {
+		mu.Lock()
+		if r.Count > winMax[r.WindowIndex] {
+			winMax[r.WindowIndex] = r.Count
+		}
+		if r.Count == peers {
+			epochFull[r.Epoch] = true
+		}
+		mu.Unlock()
+	})
+	fed.StartSensors(500*time.Millisecond, func(int) tuple.Raw {
+		return tuple.Raw{Vals: []float64{1}}
+	}, rand.New(rand.NewSource(7)))
+
+	waitCond(t, 15*time.Second, "warm-up completeness", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return epochFull[0]
+	})
+
+	var results []ReplanResult
+	var rmu sync.Mutex
+	mon := fed.StartMonitor(MonitorOptions{
+		Interval:          150 * time.Millisecond,
+		Threshold:         0.5,
+		Hysteresis:        2,
+		MinReplanInterval: 2 * time.Second,
+		OnReplan: func(r ReplanResult) {
+			rmu.Lock()
+			results = append(results, r)
+			rmu.Unlock()
+		},
+	})
+	defer mon.Stop()
+
+	// Give the monitor a few stable polls: the deployed plan matches the
+	// live topology, so nothing may fire.
+	time.Sleep(time.Second)
+	if got := mon.Replans(); got != 0 {
+		t.Fatalf("monitor replanned %d times with no drift", got)
+	}
+
+	topo.shifted.Store(true)
+	waitCond(t, 20*time.Second, "drift-triggered replan", func() bool {
+		return mon.Replans() >= 1
+	})
+	rmu.Lock()
+	first := results[0]
+	rmu.Unlock()
+	if first.Epoch != 1 || first.Query != "q" {
+		t.Fatalf("replan result %+v", first)
+	}
+	if first.NewCost >= first.OldCost {
+		t.Fatalf("replanned cost %v not below stale plan's %v", first.NewCost, first.OldCost)
+	}
+	// The post-shift plan must also be strictly cheaper under the true
+	// shifted topology, not just the monitor's view of it.
+	trueModel := memberModel{m: plan.LatencyFunc(topo.delay), members: fed.Def("q").Members}
+	if newQ, oldQ := plan.Quality(trueModel, fed.Def("q").Trees), first.OldCost; newQ <= 0 || oldQ <= 0 {
+		t.Fatalf("degenerate costs: new %v old %v", newQ, oldQ)
+	}
+
+	// Migration completes: the root retires epoch 0 and its state drains
+	// to zero on every peer; epoch 1 reaches full completeness.
+	waitCond(t, 30*time.Second, "epoch retirement", func() bool {
+		return fed.Fab.Stats.EpochsRetired.Load() >= 1
+	})
+	waitCond(t, 30*time.Second, "old epoch drained", func() bool {
+		installed, _ := fed.Fab.EpochCounts("q", 0)
+		return installed == 0
+	})
+	waitCond(t, 20*time.Second, "new epoch completeness", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return epochFull[1]
+	})
+	mon.Stop()
+	rt.Shutdown()
+
+	if got := fed.Fab.EpochInstalledCount("q", 0); got != 0 {
+		t.Fatalf("epoch 0 still installed on %d peers", got)
+	}
+	if got := fed.Fab.EpochWiredCount("q", 1); got != peers {
+		t.Fatalf("epoch 1 wired on %d of %d peers", got, peers)
+	}
+
+	// Completeness never dipped below the pre-shift level: once warm,
+	// every window's best report (across epochs) stayed full until the
+	// shutdown tail.
+	mu.Lock()
+	defer mu.Unlock()
+	var first64, last64 int64 = -1, -1
+	for w, c := range winMax {
+		if c == peers && (first64 < 0 || w < first64) {
+			first64 = w
+		}
+		if w > last64 {
+			last64 = w
+		}
+	}
+	for w := first64; w <= last64-4; w++ {
+		if winMax[w] != peers {
+			t.Fatalf("window %d best completeness %d of %d — dipped during migration", w, winMax[w], peers)
+		}
+	}
+}
+
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("%s not reached within %v", what, d)
+}
+
+// Replan on an unknown query fails cleanly; on a drifted topology it
+// installs a strictly better plan; and when no candidate improves on the
+// deployed plan it refuses with ErrNoImprovement, spending no epoch — a
+// migration is only ever worth a strictly better tree set.
+func TestReplanErrors(t *testing.T) {
+	topo := &shiftTopo{}
+	rt := livert.New(12, livert.Options{Seed: 9, PairDelay: topo.delay})
+	defer rt.Shutdown()
+	prog, err := msl.Parse("query q as count() from sensors window time 1s slide 1s trees 2 bf 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := NewRuntime(rt, prog, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Replan("nope"); err == nil {
+		t.Fatal("replan of unknown query accepted")
+	}
+
+	topo.shifted.Store(true) // the deployed plan is now badly placed
+	res, err := fed.Replan("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 {
+		t.Fatalf("first replan produced epoch %d", res.Epoch)
+	}
+	if res.NewCost >= res.OldCost {
+		t.Fatalf("installed plan cost %v not below deployed %v", res.NewCost, res.OldCost)
+	}
+	if fed.Def("q").Meta.Epoch != 1 {
+		t.Fatal("definition not swapped to the new epoch")
+	}
+
+	// The fresh plan fits the topology; an immediate second replan has
+	// nothing better to offer and must not install anything.
+	if _, err := fed.Replan("q"); err != ErrNoImprovement {
+		t.Fatalf("replan with nothing to gain returned %v, want ErrNoImprovement", err)
+	}
+	if got := fed.Def("q").Meta.Epoch; got != 1 {
+		t.Fatalf("no-improvement replan advanced the epoch to %d", got)
+	}
+}

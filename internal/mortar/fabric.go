@@ -184,6 +184,9 @@ type Stats struct {
 	Relayed atomic.Uint64
 	// FlexDownHops counts stage-4 descents.
 	FlexDownHops atomic.Uint64
+	// EpochsRetired counts completed epoch migrations: the root observed
+	// the new epoch fully wired and multicast the old epoch's retirement.
+	EpochsRetired atomic.Uint64
 }
 
 // Fabric is a Mortar federation: one peer per runtime slot. The same fabric
@@ -322,6 +325,13 @@ func (f *Fabric) send(from, to int, class runtime.Class, payload any) {
 // tree set of size d rooted at the issuing peer. Call from the driving
 // goroutine (planning uses the runtime's unsynchronized random source).
 func (f *Fabric) Compile(meta QueryMeta, members []int, coords []cluster.Point, bf, d int) (*QueryDef, error) {
+	return f.CompileWith(meta, members, coords, bf, d, f.rng)
+}
+
+// CompileWith is Compile with an explicit random source, for callers that
+// plan off the driving goroutine (the replanning monitor) and must not
+// share the runtime's unsynchronized rng.
+func (f *Fabric) CompileWith(meta QueryMeta, members []int, coords []cluster.Point, bf, d int, rng *rand.Rand) (*QueryDef, error) {
 	if members == nil {
 		members = make([]int, f.NumPeers())
 		for i := range members {
@@ -341,7 +351,7 @@ func (f *Fabric) Compile(meta QueryMeta, members []int, coords []cluster.Point, 
 	if rootIdx < 0 {
 		return nil, fmt.Errorf("mortar: root %d not in member set", meta.Root)
 	}
-	trees := plan.Build(coords, rootIdx, bf, d, f.rng)
+	trees := plan.Build(coords, rootIdx, bf, d, rng)
 	def := &QueryDef{Meta: meta, Trees: trees}
 	def.Members = members
 	return def, nil
@@ -366,13 +376,16 @@ func (f *Fabric) Install(issuer int, def *QueryDef) error {
 	return nil
 }
 
-// Remove multicasts removal of a query from the issuing peer, using the
-// cached definition at the root for chunking. Call from the driving
-// goroutine, never from inside a peer callback.
+// Remove multicasts removal of a query — every epoch of it — from the
+// issuing peer, using the cached definition at the root for chunking. A
+// removal whose seq does not exceed an instance's install seq is a
+// documented no-op at every peer: a stale or replayed remove can never
+// undo a newer install. Call from the driving goroutine, never from
+// inside a peer callback.
 func (f *Fabric) Remove(issuer int, name string, seq uint64) error {
 	var err error
 	if !runtime.ExecWait(f.Rt, issuer, func() {
-		err = f.peers[issuer].startRemove(name, seq)
+		err = f.peers[issuer].startRemove(name, seq, wire.AllEpochs)
 	}) {
 		return fmt.Errorf("mortar: runtime is shut down")
 	}
@@ -380,27 +393,77 @@ func (f *Fabric) Remove(issuer int, name string, seq uint64) error {
 }
 
 // InstalledCount returns how many peers currently host an operator for the
-// query (Figure 11's y-axis). It reads peer state directly: call it only
-// while the runtime is quiescent (the simulator between steps, or a live
-// runtime after Shutdown).
+// query — any epoch of it (Figure 11's y-axis). It reads peer state
+// directly: call it only while the runtime is quiescent (the simulator
+// between steps, or a live runtime after Shutdown).
 func (f *Fabric) InstalledCount(name string) int {
 	n := 0
 	for _, p := range f.peers {
-		if _, ok := p.insts[name]; ok {
+		for k := range p.insts {
+			if k.name == name {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// WiredCount returns how many peers host at least one wired operator for
+// the query. Quiescent-only, like InstalledCount.
+func (f *Fabric) WiredCount(name string) int {
+	n := 0
+	for _, p := range f.peers {
+		for k, inst := range p.insts {
+			if k.name == name && inst.wired {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
+// EpochInstalledCount returns how many peers host the given epoch of the
+// query. Quiescent-only, like InstalledCount.
+func (f *Fabric) EpochInstalledCount(name string, epoch uint32) int {
+	n := 0
+	for _, p := range f.peers {
+		if _, ok := p.insts[instKey{name: name, epoch: epoch}]; ok {
 			n++
 		}
 	}
 	return n
 }
 
-// WiredCount returns how many installed operators know their tree
-// positions. Quiescent-only, like InstalledCount.
-func (f *Fabric) WiredCount(name string) int {
+// EpochWiredCount returns how many of those operators know their tree
+// positions. Quiescent-only.
+func (f *Fabric) EpochWiredCount(name string, epoch uint32) int {
 	n := 0
 	for _, p := range f.peers {
-		if inst, ok := p.insts[name]; ok && inst.wired {
+		if inst, ok := p.insts[instKey{name: name, epoch: epoch}]; ok && inst.wired {
 			n++
 		}
 	}
 	return n
+}
+
+// EpochCounts reports, live-safely, how many of this process's local peers
+// host (and have wired) the given epoch: each count runs inside the
+// peer's serialization domain, so callers may poll it while the federation
+// is running — how tests watch a migration complete. Peers hosted by other
+// processes are not visible.
+func (f *Fabric) EpochCounts(name string, epoch uint32) (installed, wired int) {
+	for i, p := range f.peers {
+		p := p
+		runtime.ExecWait(f.Rt, i, func() {
+			if inst, ok := p.insts[instKey{name: name, epoch: epoch}]; ok {
+				installed++
+				if inst.wired {
+					wired++
+				}
+			}
+		})
+	}
+	return installed, wired
 }

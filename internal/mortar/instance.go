@@ -25,6 +25,27 @@ type instance struct {
 	nb    neighbors
 	wired bool
 
+	// draining marks an instance retired by an epoch-scoped removal: it
+	// opens no new local windows but keeps merging, evicting, and routing
+	// its in-flight windows until the drain timer tears it down — the
+	// "break" half of make-before-break happens only after the old epoch's
+	// data has had time to reach the root.
+	draining   bool
+	drainTimer runtime.Timer
+
+	// acked tracks, at the root of an epoch > 0 instance, which members
+	// have reported the epoch installed and wired (wire.InstallAck). Once
+	// every member has acked — and the new epoch's completeness has caught
+	// up with the old one's — the root retires the previous epoch.
+	acked   map[int]struct{}
+	retired bool // this instance already triggered the old epoch's removal
+
+	// lastCount is the completeness of this root's most recent report;
+	// reportsAfterAck counts reports made after the member set fully
+	// acked. Together they drive the retirement criterion.
+	lastCount       int
+	reportsAfterAck int
+
 	// Full definition; held only at the query root / issuer (§6.1).
 	def *QueryDef
 
@@ -129,6 +150,36 @@ func (inst *instance) stop() {
 	if inst.stallTick != nil {
 		inst.stallTick.Cancel()
 	}
+	if inst.drainTimer != nil {
+		inst.drainTimer.Cancel()
+	}
+}
+
+// beginDrain puts a retired instance into draining mode: the slide and
+// stall timers stop (no new local windows open), while the TS list keeps
+// merging arriving summaries and evicting expired windows toward the root.
+// After the drain period the instance is torn down for good. Idempotent —
+// the removal multicast and reconciliation may both deliver the retirement.
+func (inst *instance) beginDrain(drain time.Duration) {
+	if inst.draining {
+		return
+	}
+	inst.draining = true
+	if inst.slideTimer != nil {
+		inst.slideTimer.Cancel()
+	}
+	if inst.stallTick != nil {
+		inst.stallTick.Cancel()
+	}
+	p := inst.peer
+	key := instKey{name: inst.meta.Name, epoch: inst.meta.Epoch}
+	inst.drainTimer = p.rtc.After(drain, func() {
+		if cur, ok := p.insts[key]; ok && cur == inst {
+			inst.stop()
+			delete(p.insts, key)
+			p.pruneNeighborState()
+		}
+	})
 }
 
 // stallPeriod is how long a tuple-window source stays quiet before a
@@ -199,8 +250,15 @@ func (inst *instance) scheduleSlide() {
 }
 
 // injectRaw feeds a raw sensor tuple into every matching local operator.
+// During a migration both epochs of a query are fed: the old epoch keeps
+// producing complete windows while the new one wires up, so completeness
+// never dips (make-before-break). Draining instances open no new windows
+// and take no raws.
 func (p *Peer) injectRaw(raw tuple.Raw) {
 	for _, inst := range p.insts {
+		if inst.draining {
+			continue
+		}
 		if inst.meta.FilterKey != "" && raw.Key != inst.meta.FilterKey {
 			continue // the select stage (§7.4) drops non-matching tuples
 		}
@@ -433,11 +491,24 @@ func (inst *instance) evictExpired() {
 	inst.armEvict()
 }
 
+// noteReport updates the root's completeness view and, for a migrating
+// epoch, re-checks the retirement criterion — the hand-off happens from
+// the root's report path, where completeness is finally judged.
+func (inst *instance) noteReport(count int) {
+	inst.lastCount = count
+	if inst.meta.Epoch > 0 && !inst.retired && inst.def != nil &&
+		inst.acked != nil && len(inst.acked) >= len(inst.def.Members) {
+		inst.reportsAfterAck++
+		inst.peer.maybeRetireOld(inst)
+	}
+}
+
 // reportInterval reports a tuple-window result. Unlike time windows, the
 // unaligned intervals of different sources legitimately evict out of
 // order, so every eviction is reported.
 func (inst *instance) reportInterval(n int64, s tuple.Summary) {
 	f := inst.peer.fab
+	inst.noteReport(s.Count)
 	f.Stats.ResultsReported.Add(1)
 	val := s.Value
 	if inst.fin != nil && val != nil {
@@ -445,6 +516,7 @@ func (inst *instance) reportInterval(n int64, s tuple.Summary) {
 	}
 	f.emitResult(Result{
 		Query:       s.Query,
+		Epoch:       inst.meta.Epoch,
 		WindowIndex: n,
 		Index:       s.Index,
 		Value:       val,
@@ -479,6 +551,7 @@ func (inst *instance) report(n int64, s tuple.Summary) {
 		return
 	}
 	inst.lastReported = n
+	inst.noteReport(s.Count)
 	f.Stats.ResultsReported.Add(1)
 	val := s.Value
 	if inst.fin != nil && val != nil {
@@ -486,6 +559,7 @@ func (inst *instance) report(n int64, s tuple.Summary) {
 	}
 	f.emitResult(Result{
 		Query:       s.Query,
+		Epoch:       inst.meta.Epoch,
 		WindowIndex: n,
 		Index:       s.Index,
 		Value:       val,
@@ -499,7 +573,10 @@ func (inst *instance) report(n int64, s tuple.Summary) {
 // --- Summary arrival (§3.3, §4) ---
 
 func (p *Peer) handleSummary(src int, env *envelope) {
-	inst, ok := p.insts[env.S.Query]
+	// Summaries merge only into the instance of their own epoch: two live
+	// epochs of a query are two disjoint tree sets, and cross-epoch merging
+	// would double-count the sources that feed both.
+	inst, ok := p.insts[instKey{name: env.S.Query, epoch: env.Epoch}]
 	if !ok || !inst.wired {
 		// We cannot process or even consult tree levels; best-effort drop.
 		p.fab.Stats.Dropped.Add(1)
@@ -692,6 +769,6 @@ func (inst *instance) send(s tuple.Summary, t, to int, ttlDown uint8) {
 	if t < len(s.Levels) {
 		s.Levels[t] = int16(inst.nb.Levels[t])
 	}
-	env := &envelope{S: s, Tree: t, TTLDown: ttlDown, SentAt: inst.peer.now()}
+	env := &envelope{S: s, Tree: t, TTLDown: ttlDown, SentAt: inst.peer.now(), Epoch: inst.meta.Epoch}
 	inst.peer.fab.send(inst.peer.id, to, runtime.ClassData, env)
 }

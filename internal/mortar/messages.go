@@ -36,3 +36,8 @@ type msgTopoRequest = wire.TopoRequest
 
 // msgTopoReply returns the requester's position in the tree set (§6.1).
 type msgTopoReply = wire.TopoReply
+
+// msgInstallAck reports a wired epoch back to the query root, which
+// retires the previous epoch once every member has acked (the
+// make-before-break hand-off of a live replan).
+type msgInstallAck = wire.InstallAck

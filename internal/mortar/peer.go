@@ -8,7 +8,17 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/vclock"
 	"repro/internal/vivaldi"
+	"repro/internal/wire"
 )
+
+// instKey identifies one operator instance on a peer: the query name plus
+// the plan epoch. A replan installs the same query under the next epoch
+// and the two run side by side until the old epoch is retired, so the name
+// alone no longer names an instance.
+type instKey struct {
+	name  string
+	epoch uint32
+}
 
 // Peer is one Mortar process: a single-threaded event-driven actor hosting
 // query operators. All its methods run inside the peer's runtime
@@ -20,8 +30,12 @@ type Peer struct {
 	rtc   runtime.Clock // scheduling clock (true runtime time)
 	clock vclock.Clock  // clock model layered on top (offset + skew)
 
-	insts   map[string]*instance
-	removed map[string]uint64 // cached query removals: name -> seq
+	insts map[instKey]*instance
+	// removed caches removal commands per query name as a non-dominated
+	// mark set (see wire.RemovedMark): a whole-query removal and a later
+	// epoch retirement cover incomparable rectangles, and both must keep
+	// suppressing the installs they cover.
+	removed map[string][]wire.RemovedMark
 
 	// Liveness: runtime time we last heard anything from a neighbor.
 	lastHeard map[int]time.Duration
@@ -33,8 +47,9 @@ type Peer struct {
 	hbSeqSeen map[int]uint64
 	hbSeqOut  uint64
 
-	// pendingTopo tracks queries awaiting a topology reply from their root.
-	pendingTopo map[string]bool
+	// pendingTopo tracks instances awaiting a topology reply from their
+	// root.
+	pendingTopo map[instKey]bool
 
 	// nc is the peer's Vivaldi coordinate state on runtimes that run the
 	// decentralized protocol (runtime/netrt); nil elsewhere. The node is
@@ -49,13 +64,30 @@ func newPeer(f *Fabric, id int, rtc runtime.Clock, ck vclock.Clock) *Peer {
 		id:          id,
 		rtc:         rtc,
 		clock:       ck,
-		insts:       make(map[string]*instance),
-		removed:     make(map[string]uint64),
+		insts:       make(map[instKey]*instance),
+		removed:     make(map[string][]wire.RemovedMark),
 		lastHeard:   make(map[int]time.Duration),
 		hbSeqSeen:   make(map[int]uint64),
-		pendingTopo: make(map[string]bool),
+		pendingTopo: make(map[instKey]bool),
 	}
 	return p
+}
+
+// sortedInstKeys returns the peer's instance keys ordered by (name, epoch)
+// — map iteration must never order anything behavior-visible (the
+// simulated backend is bit-for-bit deterministic).
+func (p *Peer) sortedInstKeys() []instKey {
+	keys := make([]instKey, 0, len(p.insts))
+	for k := range p.insts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].epoch < keys[j].epoch
+	})
+	return keys
 }
 
 // ID returns the peer's fabric index.
@@ -124,6 +156,9 @@ func (p *Peer) deliver(src int, payload any, size int) {
 		p.handleTopoRequest(src, m)
 	case msgTopoReply:
 		p.handleTopoReply(src, m)
+	case msgInstallAck:
+		p.markHeard(src)
+		p.handleInstallAck(src, m)
 	}
 	// A peer hosting nothing has no ticker to ride for periodic pruning;
 	// drop liveness state stragglers re-add so an idle peer holds no
@@ -200,6 +235,10 @@ func (p *Peer) sendHeartbeats() {
 	withHash := p.fab.Cfg.ReconcileEveryBeats > 0 && p.beat%uint64(p.fab.Cfg.ReconcileEveryBeats) == 0
 	if withHash {
 		p.retryPendingTopo()
+		// Re-ack migrating epochs: a lost InstallAck must not stall a
+		// retirement forever, so while this peer still hosts an older epoch
+		// of a query it keeps acking the newer one on reconciliation beats.
+		p.reackMigratingEpochs()
 		// Ride the reconciliation beat to drop state for ex-neighbors that
 		// in-flight traffic re-added after an unwire or removal.
 		p.pruneNeighborState()
@@ -259,23 +298,31 @@ func (p *Peer) pairHashAsChild(parent int) uint64 {
 	})
 }
 
+// hashQueries digests the peer's wired instance set as (name, epoch, seq)
+// triples: reconciliation keys on (name, epoch), so during a migration the
+// two live epochs of a query hash as two entries and a pair disagrees the
+// moment either side misses one of them. Draining instances are excluded,
+// exactly as reconSummary omits them — drain timers on the two ends of a
+// pair expire at skewed times, and hashing a state reconciliation cannot
+// change would keep the pair exchanging futile summaries until the slower
+// timer fired.
 func (p *Peer) hashQueries(include func(*instance) bool) uint64 {
-	names := make([]string, 0, len(p.insts))
-	for name, inst := range p.insts {
-		if inst.wired && include(inst) {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
 	h := fnv.New64a()
-	for _, name := range names {
-		h.Write([]byte(name))
-		var seqb [8]byte
-		seq := p.insts[name].meta.Seq
-		for i := range seqb {
-			seqb[i] = byte(seq >> (8 * i))
+	for _, k := range p.sortedInstKeys() {
+		inst := p.insts[k]
+		if !inst.wired || inst.draining || !include(inst) {
+			continue
 		}
-		h.Write(seqb[:])
+		h.Write([]byte(k.name))
+		var b [12]byte
+		for i := 0; i < 4; i++ {
+			b[i] = byte(k.epoch >> (8 * i))
+		}
+		seq := p.insts[k].meta.Seq
+		for i := 0; i < 8; i++ {
+			b[4+i] = byte(seq >> (8 * i))
+		}
+		h.Write(b[:])
 		h.Write([]byte{0})
 	}
 	// Reserve 0 for "no hash piggybacked".

@@ -110,6 +110,10 @@ func neighborsFor(d *QueryDef, memberIdx int) neighbors {
 // Result is one answer emitted by a query's root operator.
 type Result struct {
 	Query string
+	// Epoch is the plan epoch whose root reported this result. During a
+	// migration both epochs report; consumers judging completeness should
+	// take the per-window maximum across epochs.
+	Epoch uint32
 	// WindowIndex is the root-local logical slide number (time windows).
 	WindowIndex int64
 	// Index is the validity interval in the root's local frame.

@@ -132,7 +132,7 @@ func TestReinstallHigherSeqReplaces(t *testing.T) {
 	rt.RunFor(10 * time.Second)
 	replaced := 0
 	for i := 0; i < 20; i++ {
-		if inst, ok := fab.Peer(i).insts["q"]; ok && inst.meta.Seq == 3 {
+		if inst, ok := fab.Peer(i).insts[instKey{name: "q"}]; ok && inst.meta.Seq == 3 {
 			replaced++
 		}
 	}
@@ -141,7 +141,7 @@ func TestReinstallHigherSeqReplaces(t *testing.T) {
 	}
 	// A stale lower-seq install arriving later must not downgrade.
 	fab.Peer(5).installLocal(mk(2, "sum").Meta, nil, nil)
-	if fab.Peer(5).insts["q"].meta.Seq != 3 {
+	if fab.Peer(5).insts[instKey{name: "q"}].meta.Seq != 3 {
 		t.Fatal("stale install downgraded the query")
 	}
 }
@@ -166,7 +166,7 @@ func TestRemoveSupersedesLaterLowSeqInstall(t *testing.T) {
 	rt.RunFor(5 * time.Second)
 	// The cached removal (seq 2) must beat a replayed install (seq 1).
 	fab.Peer(7).installLocal(meta, nil, nil)
-	if _, ok := fab.Peer(7).insts["q"]; ok {
+	if _, ok := fab.Peer(7).insts[instKey{name: "q"}]; ok {
 		t.Fatal("removed query re-installed by a stale message")
 	}
 	if got := fab.InstalledCount("q"); got != 0 {

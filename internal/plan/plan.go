@@ -37,9 +37,13 @@ func (f LatencyFunc) Latency(a, b int) time.Duration { return f(a, b) }
 
 // CoordModel is a LatencyModel backed by network coordinates: the
 // predicted latency between two peers is the Euclidean distance between
-// their coordinates, in milliseconds (Vivaldi's embedding unit).
+// their coordinates, in milliseconds (Vivaldi's embedding unit). With
+// Height set, the last component of every point is a Vivaldi height (the
+// node's access-link latency): the prediction is then the Euclidean
+// distance of the vector parts plus both heights.
 type CoordModel struct {
 	Coords []cluster.Point
+	Height bool
 }
 
 // Latency implements LatencyModel by coordinate distance.
@@ -48,15 +52,21 @@ func (m CoordModel) Latency(a, b int) time.Duration {
 		return 0
 	}
 	ca, cb := m.Coords[a], m.Coords[b]
+	n := len(ca)
+	if len(cb) < n {
+		n = len(cb)
+	}
+	var heights float64
+	if m.Height && n >= 2 {
+		heights = ca[n-1] + cb[n-1]
+		n--
+	}
 	var s float64
-	for i := range ca {
-		if i >= len(cb) {
-			break
-		}
+	for i := 0; i < n; i++ {
 		d := ca[i] - cb[i]
 		s += d * d
 	}
-	return time.Duration(math.Sqrt(s) * float64(time.Millisecond))
+	return time.Duration((math.Sqrt(s) + heights) * float64(time.Millisecond))
 }
 
 // Tree is a rooted aggregation tree over peers 0..n-1.
@@ -448,6 +458,32 @@ func LatencyToRoot(t *Tree, m LatencyModel) []time.Duration {
 		resolve(p)
 	}
 	return out
+}
+
+// Quality scores a deployed tree set against a latency view: the mean,
+// over every tree of the set, of the mean overlay latency from each peer
+// to the root (the summed link latencies of Figure 17). Lower is better.
+// Scoring the same set under two models — the embedding the set was
+// planned from versus the current one — measures how far the network has
+// drifted from the plan; scoring two sets under the current model ranks a
+// deployed plan against a candidate replan, which is how the replanning
+// monitor decides a migration is worth its traffic.
+func Quality(m LatencyModel, s *Set) time.Duration {
+	if s == nil || len(s.Trees) == 0 {
+		return 0
+	}
+	var total time.Duration
+	var paths int
+	for _, t := range s.Trees {
+		for _, d := range LatencyToRoot(t, m) {
+			total += d
+			paths++
+		}
+	}
+	if paths == 0 {
+		return 0
+	}
+	return total / time.Duration(paths)
 }
 
 // Percentile returns the q'th percentile (0..100) of the given durations.

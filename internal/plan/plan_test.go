@@ -273,3 +273,45 @@ func TestCoordModelLatency(t *testing.T) {
 		t.Fatalf("LatencyToRoot over CoordModel = %v", lat)
 	}
 }
+
+// A height-aware CoordModel adds both endpoints' heights (the trailing
+// component) to the vector distance — the Vivaldi §5.4 path model.
+func TestCoordModelHeight(t *testing.T) {
+	m := CoordModel{Coords: []cluster.Point{{0, 0, 2}, {3, 4, 7}}, Height: true}
+	if got := m.Latency(0, 1); got != 14*time.Millisecond {
+		t.Fatalf("height Latency = %v, want 14ms (5 + 2 + 7)", got)
+	}
+	flat := CoordModel{Coords: []cluster.Point{{0, 0, 2}, {3, 4, 7}}}
+	if got := flat.Latency(0, 1); got == 14*time.Millisecond {
+		t.Fatal("flat model applied heights")
+	}
+}
+
+// Quality is the planner's drift metric: the mean peer-to-root overlay
+// latency across the set's trees. A star rooted at a well-placed peer must
+// score better than a chain under the same model, and the same set must
+// score worse under a model whose latencies have inflated — the signal the
+// replanning monitor watches.
+func TestQualityScoresPlans(t *testing.T) {
+	// 4 peers on a line at 0, 1, 2, 3 (ms).
+	coords := []cluster.Point{{0}, {1}, {2}, {3}}
+	m := CoordModel{Coords: coords}
+	star := &Set{Trees: []*Tree{newTreeFromParents(0, 3, []int{-1, 0, 0, 0})}}
+	// A detouring tree: the near peers route through the far end first.
+	detour := &Set{Trees: []*Tree{newTreeFromParents(0, 2, []int{-1, 3, 3, 0})}}
+	qs, qc := Quality(m, star), Quality(m, detour)
+	if qs <= 0 || qc <= 0 {
+		t.Fatalf("quality must be positive: star %v detour %v", qs, qc)
+	}
+	if qs >= qc {
+		t.Fatalf("star %v should beat detour %v", qs, qc)
+	}
+	// Inflate one pair's latency tenfold: the same plan scores worse.
+	drifted := CoordModel{Coords: []cluster.Point{{0}, {10}, {2}, {3}}}
+	if Quality(drifted, star) <= qs {
+		t.Fatal("drifted model did not degrade the score")
+	}
+	if Quality(m, nil) != 0 || Quality(m, &Set{}) != 0 {
+		t.Fatal("empty set must score 0")
+	}
+}

@@ -101,6 +101,19 @@ type Options struct {
 	// StaleAfter evicts an incomplete reassembly stream that has received
 	// nothing for this long. Default 3s.
 	StaleAfter time.Duration
+	// PairDelay, when non-nil, holds every outgoing datagram for the given
+	// synthetic one-way delay before it reaches the paced writer — an
+	// injected latency topology over real loopback sockets. The passive
+	// RTT echoes measure the inflated path, so Vivaldi embeds the
+	// synthetic topology exactly as it would a real one; SetPairDelay
+	// swaps the function mid-run, which is how tests shift the topology
+	// under a live federation.
+	PairDelay func(from, to int) time.Duration
+	// VivaldiHeight runs the peers' coordinates under the height-vector
+	// model: each coordinate carries a trailing height component modeling
+	// the peer's access-link latency (gossiped coordinates of the other
+	// shape are rejected — the models must not blend).
+	VivaldiHeight bool
 }
 
 func (o Options) withDefaults() Options {
@@ -186,10 +199,15 @@ type Runtime struct {
 	// updates from the RTT samples the transport already collects; probe
 	// frames piggyback coordinates, so the last coordinate seen from every
 	// remote peer is cached here for planning and for feeding updates.
+	vcfg       vivaldi.Config
 	nodes      []*vivaldi.Node // nil for non-local peers
 	coordMu    sync.RWMutex
 	peerCoords []vivaldi.Coordinate // last coordinate gossiped per peer
 	peerErrs   []float64
+
+	// pairDelay is the synthetic latency topology (Options.PairDelay),
+	// swappable mid-run via SetPairDelay.
+	pairDelay atomic.Pointer[func(from, to int) time.Duration]
 
 	sent, delivered, dropped atomic.Uint64
 }
@@ -266,6 +284,12 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		peerCoords: make([]vivaldi.Coordinate, n),
 		peerErrs:   make([]float64, n),
 	}
+	r.vcfg = vivaldi.DefaultConfig()
+	r.vcfg.Height = opt.VivaldiHeight
+	if opt.PairDelay != nil {
+		pd := opt.PairDelay
+		r.pairDelay.Store(&pd)
+	}
 	burst := float64(64 << 10)
 	if b := float64(4 * opt.MTU); b > burst {
 		burst = b
@@ -274,7 +298,7 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		r.isLocal[p] = true
 		r.echo[p] = make(map[int]echoState)
 		r.rtt[p] = make(map[int]time.Duration)
-		r.nodes[p] = vivaldi.NewNode(vivaldi.DefaultConfig(),
+		r.nodes[p] = vivaldi.NewNode(r.vcfg,
 			rand.New(rand.NewSource(opt.Seed*7919+int64(p)+1)))
 		if opt.ReadBuffer > 0 {
 			_ = conns[p].SetReadBuffer(opt.ReadBuffer)
@@ -305,6 +329,49 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		go r.sweepLoop()
 	}
 	return r
+}
+
+// SetPairDelay swaps the synthetic latency topology at run time. The
+// next outgoing datagram of every local peer sees the new delays, the
+// passive RTT measurements follow, and Vivaldi re-embeds — the injected
+// equivalent of a route change under a live federation. nil removes the
+// topology.
+func (r *Runtime) SetPairDelay(f func(from, to int) time.Duration) {
+	if f == nil {
+		r.pairDelay.Store(nil)
+		return
+	}
+	r.pairDelay.Store(&f)
+}
+
+// xmit submits one outgoing datagram to the sending peer's paced writer,
+// first holding it for the synthetic pair delay when a topology is
+// configured. c1/c2 (either may be nil) increment only when the datagram
+// is accepted by the pacer, exactly as direct submission would. The
+// common no-delay path stays closure- and allocation-free — this sits
+// under every heartbeat, fragment, probe, and NACK.
+func (r *Runtime) xmit(from, to int, b []byte, c1, c2 *atomic.Uint64) {
+	if pd := r.pairDelay.Load(); pd != nil {
+		if d := (*pd)(from, to); d > 0 {
+			// A held datagram that outlives Shutdown lands in a stopped
+			// pacer's queue and is never written — dropped like any other
+			// in-flight packet at process death.
+			time.AfterFunc(d, func() { r.xmitNow(from, to, b, c1, c2) })
+			return
+		}
+	}
+	r.xmitNow(from, to, b, c1, c2)
+}
+
+func (r *Runtime) xmitNow(from, to int, b []byte, c1, c2 *atomic.Uint64) {
+	if r.pacers[from].submit(b, r.addrs[to]) {
+		if c1 != nil {
+			c1.Add(1)
+		}
+		if c2 != nil {
+			c2.Add(1)
+		}
+	}
 }
 
 // sweepLoop periodically evicts stale reassembly streams and sends the
@@ -338,9 +405,7 @@ func (r *Runtime) sendNack(from int, req NackRequest) {
 	w.PutUvarint(uint64(from))
 	w.PutUvarint(uint64(req.Src))
 	wire.EncodeNack(&w, wire.Nack{Stream: req.Stream, Missing: req.Missing})
-	if r.pacers[from].submit(w.Bytes(), r.addrs[req.Src]) {
-		r.nacksSent.Add(1)
-	}
+	r.xmit(from, req.Src, w.Bytes(), &r.nacksSent, nil)
 }
 
 // NewGroup builds one federation of several Runtimes inside a single
@@ -569,9 +634,7 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 	w.PutByte(byte(class))
 	w.PutRaw(body)
 	if w.Len() <= r.opt.MTU {
-		if r.pacers[from].submit(w.Bytes(), r.addrs[to]) {
-			r.sent.Add(1)
-		}
+		r.xmit(from, to, w.Bytes(), &r.sent, nil)
 		return true
 	}
 	r.sendFragmented(from, to, body)
@@ -598,10 +661,7 @@ func (r *Runtime) sendFragmented(from, to int, body []byte) {
 	// the retransmit buffer holds them safely past the caller's frame.
 	fs.register(stream, to, dgrams)
 	for _, d := range dgrams {
-		if r.pacers[from].submit(d, r.addrs[to]) {
-			r.sent.Add(1)
-			r.fragsSent.Add(1)
-		}
+		r.xmit(from, to, d, &r.sent, &r.fragsSent)
 	}
 	r.fragStreams.Add(1)
 	for {
@@ -749,7 +809,7 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		if err != nil || r.down[peer].Load() {
 			return
 		}
-		if c, e, ok := readCoord(rd); ok {
+		if c, e, ok := r.readCoord(rd); ok {
 			r.noteCoord(src, c, e)
 		}
 		var w wire.Buffer
@@ -759,7 +819,7 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		w.PutVarint(stamp)
 		w.PutVarint(0) // replied immediately: no hold
 		putCoord(&w, r.nodes[peer])
-		r.pacers[peer].submit(w.Bytes(), r.addrs[src])
+		r.xmit(peer, src, w.Bytes(), nil, nil)
 
 	case framePong:
 		stamp, err := rd.Varint()
@@ -770,7 +830,7 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		if err != nil {
 			return
 		}
-		if c, e, ok := readCoord(rd); ok {
+		if c, e, ok := r.readCoord(rd); ok {
 			r.noteCoord(src, c, e)
 		}
 		r.observe(peer, src, now-time.Duration(stamp)-time.Duration(hold))
@@ -888,9 +948,7 @@ func (r *Runtime) resendFragments(peer, src int, n wire.Nack) {
 		if int(idx) >= len(dgrams) {
 			continue
 		}
-		if r.pacers[peer].submit(dgrams[idx], r.addrs[src]) {
-			r.retransmits.Add(1)
-		}
+		r.xmit(peer, src, dgrams[idx], &r.retransmits, nil)
 	}
 }
 
@@ -914,15 +972,8 @@ func (r *Runtime) sendPing(from, to int) {
 	w.PutUvarint(uint64(to))
 	w.PutVarint(stampNow(r.start))
 	putCoord(&w, r.nodes[from])
-	r.pacers[from].submit(w.Bytes(), r.addrs[to])
+	r.xmit(from, to, w.Bytes(), nil, nil)
 }
-
-// coordDims is the embedding dimensionality every node in the federation
-// uses (the paper's experiments use 3-dimensional coordinates). Gossiped
-// coordinates of any other dimensionality are rejected before caching —
-// a foreign-sized coordinate would panic distance computations in
-// CoordError and the planner's clustering.
-var coordDims = vivaldi.DefaultConfig().Dims
 
 // putCoord appends a coordinate extension to a probe frame (the same
 // wire.PutCoordExt layout heartbeats use).
@@ -933,15 +984,23 @@ func putCoord(w *wire.Buffer, n *vivaldi.Node) {
 
 // readCoord reads the optional trailing coordinate extension of a probe
 // frame. Frames from binaries predating the extension simply end here;
-// malformed extensions and coordinates of the wrong dimensionality are
-// ignored rather than poisoning the probe.
-func readCoord(rd *wire.Reader) (vivaldi.Coordinate, float64, bool) {
+// malformed extensions and coordinates whose component count does not
+// match this federation's embedding (3 dimensions, plus the height under
+// Options.VivaldiHeight) are ignored rather than poisoning the probe — a
+// foreign-sized coordinate would corrupt distance computations in
+// CoordError and the planner's clustering.
+func (r *Runtime) readCoord(rd *wire.Reader) (vivaldi.Coordinate, float64, bool) {
 	c, e, err := rd.CoordExt()
-	if err != nil || len(c) != coordDims {
+	if err != nil || len(c) != r.vcfg.WireDims() {
 		return nil, 0, false
 	}
 	return vivaldi.Coordinate(c), e, true
 }
+
+// VivaldiHeight reports whether this federation's coordinates carry the
+// height-vector component (federation planning consults it to build a
+// height-aware latency model).
+func (r *Runtime) VivaldiHeight() bool { return r.vcfg.Height }
 
 // ProbeAll primes the RTT table: every local peer pings every other peer,
 // rounds times, sleeping wait between rounds for the pongs to land. Run it
@@ -1047,7 +1106,7 @@ func (r *Runtime) CoordError() (medianMs float64, pairs int) {
 			if !ok {
 				continue
 			}
-			pred := coords[p].Dist(coords[q])
+			pred := r.vcfg.Distance(coords[p], coords[q])
 			actual := float64(m) / float64(time.Millisecond)
 			errs = append(errs, math.Abs(pred-actual))
 		}

@@ -17,7 +17,11 @@ import (
 
 // Coordinate is a point in a Euclidean embedding of network latency. The
 // units are milliseconds: the Euclidean distance between two coordinates
-// predicts the one-way latency between their nodes.
+// predicts the one-way latency between their nodes. Under the
+// height-vector model (Config.Height) the last component is the scalar
+// height — the node's access-link latency, paid on every path regardless
+// of direction — and it travels as one extra component dimension, so the
+// wire shape is unchanged; use HeightDist for distances then.
 type Coordinate []float64
 
 // Dist returns the Euclidean distance between two coordinates.
@@ -28,6 +32,23 @@ func (c Coordinate) Dist(o Coordinate) float64 {
 		s += d * d
 	}
 	return math.Sqrt(s)
+}
+
+// HeightDist returns the height-model distance between two wire
+// coordinates whose last component is the height: the Euclidean distance
+// of the vector parts plus both heights (Dabek et al. §5.4 — every path
+// descends one access link, crosses the core, and climbs the other).
+func HeightDist(a, b Coordinate) float64 {
+	if len(a) < 2 || len(a) != len(b) {
+		return a.Dist(b)
+	}
+	n := len(a) - 1
+	var s float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s) + a[n] + b[n]
 }
 
 // Clone returns a copy of c.
@@ -53,11 +74,41 @@ type Config struct {
 	// away, so it anchors the embedding without distorting it. Zero
 	// disables the term.
 	Gravity float64
+	// Height enables the height-vector model (Vivaldi §5.4): each node
+	// carries a scalar height modeling its access-link latency, paid on
+	// every path in both directions — the asymmetry a pure Euclidean
+	// space cannot express. The height travels as one extra wire
+	// component (WireDims), so the coordinate extension's shape is
+	// unchanged; distances come from HeightDist.
+	Height bool
 }
+
+// minHeight keeps the height component strictly positive (a zero height
+// would let the spring forces trap nodes on the Euclidean subspace).
+const minHeight = 1e-3 // ms
 
 // DefaultConfig returns 3-dimensional coordinates with the standard
 // constants ce = cc = 0.25 and a gravity scale of 256ms.
 func DefaultConfig() Config { return Config{Dims: 3, CE: 0.25, CC: 0.25, Gravity: 256} }
+
+// WireDims returns the component count of this configuration's wire
+// coordinates: the Euclidean dimensions plus, under the height model, the
+// height as one extra trailing component.
+func (c Config) WireDims() int {
+	if c.Height {
+		return c.Dims + 1
+	}
+	return c.Dims
+}
+
+// Distance predicts the one-way latency in milliseconds between two wire
+// coordinates of this configuration.
+func (c Config) Distance(a, b Coordinate) float64 {
+	if c.Height {
+		return HeightDist(a, b)
+	}
+	return a.Dist(b)
+}
 
 // Node is one participant's coordinate state. It is safe for concurrent
 // use: under a live runtime the receive path updates the coordinate (one
@@ -74,11 +125,15 @@ type Node struct {
 
 // NewNode returns a node at a small random initial position with error 1.
 // Starting near (but not exactly at) the origin avoids the degenerate
-// all-zero configuration.
+// all-zero configuration. Under the height model the coordinate carries
+// one extra trailing component, the height, floored at minHeight.
 func NewNode(cfg Config, rng *rand.Rand) *Node {
-	c := make(Coordinate, cfg.Dims)
-	for i := range c {
+	c := make(Coordinate, cfg.WireDims())
+	for i := 0; i < cfg.Dims; i++ {
 		c[i] = rng.Float64() * 0.1
+	}
+	if cfg.Height {
+		c[cfg.Dims] = minHeight
 	}
 	return &Node{cfg: cfg, coord: c, err: 1, rng: rng}
 }
@@ -108,15 +163,30 @@ func (n *Node) Snapshot() (Coordinate, float64) {
 }
 
 // Update incorporates one latency sample to a remote node, moving this
-// node's coordinate along the spring force between the two.
+// node's coordinate along the spring force between the two. Coordinates
+// whose component count does not match this node's configuration —
+// including a flat coordinate offered to a height node or vice versa —
+// are ignored: mixing the two models would corrupt the embedding.
 func (n *Node) Update(rtt time.Duration, remote Coordinate, remoteErr float64) {
 	lat := float64(rtt) / float64(time.Millisecond)
-	if lat <= 0 || len(remote) != n.cfg.Dims {
+	if lat <= 0 || len(remote) != n.cfg.WireDims() {
 		return
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	dist := n.coord.Dist(remote)
+	d := n.cfg.Dims
+	// Vector-part separation, and the model's predicted distance: pure
+	// Euclidean, or Euclidean plus both heights under the height model.
+	var vecDist float64
+	for i := 0; i < d; i++ {
+		dd := n.coord[i] - remote[i]
+		vecDist += dd * dd
+	}
+	vecDist = math.Sqrt(vecDist)
+	dist := vecDist
+	if n.cfg.Height {
+		dist += n.coord[d] + remote[d]
+	}
 	// Weight: balance of local vs remote error.
 	w := 0.5
 	if n.err+remoteErr > 0 {
@@ -135,10 +205,10 @@ func (n *Node) Update(rtt time.Duration, remote Coordinate, remoteErr float64) {
 	delta := n.cfg.CE * w
 	// Unit vector from remote toward us; if coincident, pick a random
 	// direction so co-located nodes can separate.
-	dir := make(Coordinate, len(n.coord))
-	if dist > 1e-9 {
+	dir := make(Coordinate, d)
+	if vecDist > 1e-9 {
 		for i := range dir {
-			dir[i] = (n.coord[i] - remote[i]) / dist
+			dir[i] = (n.coord[i] - remote[i]) / vecDist
 		}
 	} else {
 		var norm float64
@@ -152,21 +222,34 @@ func (n *Node) Update(rtt time.Duration, remote Coordinate, remoteErr float64) {
 		}
 	}
 	force := delta * (lat - dist)
-	for i := range n.coord {
+	for i := range dir {
 		n.coord[i] += force * dir[i]
+	}
+	if n.cfg.Height {
+		// The height absorbs force in proportion to the heights' share of
+		// the path (Dabek et al. §5.4): both access links stretch or
+		// shrink together, scaled by how dominant they are relative to
+		// the core crossing.
+		if vecDist > 1e-9 {
+			n.coord[d] += force * (n.coord[d] + remote[d]) / vecDist
+		}
+		if n.coord[d] < minHeight {
+			n.coord[d] = minHeight
+		}
 	}
 	n.applyGravity()
 }
 
-// applyGravity pulls the coordinate toward the origin by (||x||/Gravity)²
+// applyGravity pulls the vector part toward the origin by (||x||/Gravity)²
 // ms, capped so it never overshoots past the origin. Called with the lock
-// held, after each spring update — drift control, not a measurement.
+// held, after each spring update — drift control, not a measurement. The
+// height is untouched: it is a magnitude, not a position.
 func (n *Node) applyGravity() {
 	if n.cfg.Gravity <= 0 {
 		return
 	}
 	var norm float64
-	for _, v := range n.coord {
+	for _, v := range n.coord[:n.cfg.Dims] {
 		norm += v * v
 	}
 	norm = math.Sqrt(norm)
@@ -178,7 +261,7 @@ func (n *Node) applyGravity() {
 		pull = norm
 	}
 	scale := (norm - pull) / norm
-	for i := range n.coord {
+	for i := 0; i < n.cfg.Dims; i++ {
 		n.coord[i] *= scale
 	}
 }
@@ -253,7 +336,7 @@ func (s *System) MedianRelativeError(pairs int, oneWay func(i, j int) time.Durat
 		if actual <= 0 {
 			continue
 		}
-		pred := s.Nodes[i].Coord().Dist(s.Nodes[j].Coord())
+		pred := s.Nodes[i].cfg.Distance(s.Nodes[i].Coord(), s.Nodes[j].Coord())
 		errs = append(errs, math.Abs(pred-actual)/actual)
 	}
 	if len(errs) == 0 {

@@ -235,3 +235,111 @@ func TestUpdateRejectsDimensionMismatch(t *testing.T) {
 		t.Fatalf("node moved %v on mismatched sample", d)
 	}
 }
+
+// Mixed-model guard: a height node ignores flat coordinates (Dims
+// components) and a flat node ignores heighted ones (Dims+1) — the two
+// embeddings must never blend, even though both are legal wire shapes.
+func TestHeightMixedDimensionGuard(t *testing.T) {
+	hcfg := DefaultConfig()
+	hcfg.Height = true
+	if hcfg.WireDims() != hcfg.Dims+1 {
+		t.Fatalf("WireDims = %d, want %d", hcfg.WireDims(), hcfg.Dims+1)
+	}
+	hn := NewNode(hcfg, rand.New(rand.NewSource(5)))
+	if len(hn.Coord()) != hcfg.Dims+1 {
+		t.Fatalf("height node coordinate has %d components", len(hn.Coord()))
+	}
+	before := hn.Coord()
+	hn.Update(5*time.Millisecond, Coordinate{1, 2, 3}, 0.5) // flat: rejected
+	if d := hn.Coord().Dist(before); d != 0 {
+		t.Fatalf("height node moved %v on a flat coordinate", d)
+	}
+	hn.Update(5*time.Millisecond, Coordinate{1, 2, 3, 0.5}, 0.5) // heighted: accepted
+	if d := hn.Coord().Dist(before); d == 0 {
+		t.Fatal("height node ignored a matching heighted coordinate")
+	}
+
+	fn := NewNode(DefaultConfig(), rand.New(rand.NewSource(6)))
+	before = fn.Coord()
+	fn.Update(5*time.Millisecond, Coordinate{1, 2, 3, 0.5}, 0.5) // heighted: rejected
+	if d := fn.Coord().Dist(before); d != 0 {
+		t.Fatalf("flat node moved %v on a heighted coordinate", d)
+	}
+}
+
+// The height must stay positive through arbitrary updates (a zero or
+// negative height would let paths predict less than the access links
+// cost) and HeightDist must count both heights.
+func TestHeightStaysPositive(t *testing.T) {
+	if d := HeightDist(Coordinate{0, 0, 0, 2}, Coordinate{3, 4, 0, 5}); d != 12 {
+		t.Fatalf("HeightDist = %v, want 12 (5 + 2 + 5)", d)
+	}
+	cfg := DefaultConfig()
+	cfg.Height = true
+	n := NewNode(cfg, rand.New(rand.NewSource(7)))
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		remote := Coordinate{rng.Float64() * 50, rng.Float64() * 50, rng.Float64() * 50, rng.Float64() * 10}
+		n.Update(time.Duration(1+rng.Intn(80))*time.Millisecond, remote, rng.Float64())
+		c := n.Coord()
+		if h := c[cfg.Dims]; h <= 0 || math.IsNaN(h) || math.IsInf(h, 0) {
+			t.Fatalf("height went to %v", h)
+		}
+	}
+}
+
+// The height model's reason to exist: a metric with fat access links —
+// oneWay(i, j) = core(i, j) + acc(i) + acc(j) — cannot embed in a pure
+// Euclidean space (the per-node additive term violates the triangle
+// structure), but heights express it directly. The heighted embedding
+// must converge clearly tighter than the flat control on the same metric,
+// and nodes with fat access links must learn visibly larger heights.
+func TestHeightConvergesOnAccessLinkMetric(t *testing.T) {
+	const n = 40
+	acc := func(i int) time.Duration {
+		if i%4 == 0 {
+			return 40 * time.Millisecond // DSL-class fat access link
+		}
+		return 2 * time.Millisecond
+	}
+	oneWay := func(i, j int) time.Duration {
+		core := 10 * time.Millisecond
+		if i%2 != j%2 {
+			core = 30 * time.Millisecond
+		}
+		return core + acc(i) + acc(j)
+	}
+
+	run := func(height bool) (*System, float64) {
+		cfg := DefaultConfig()
+		cfg.Height = height
+		s := NewSystem(n, cfg, rand.New(rand.NewSource(11)))
+		s.Run(60, 8, oneWay)
+		return s, s.MedianRelativeError(800, oneWay)
+	}
+	hs, hErr := run(true)
+	_, fErr := run(false)
+	if hErr > 0.25 {
+		t.Fatalf("height model median relative error %.3f, want <= 0.25", hErr)
+	}
+	if hErr > 0.8*fErr {
+		t.Fatalf("height model (%.3f) should beat the flat control (%.3f) clearly", hErr, fErr)
+	}
+	// Fat-access nodes carry larger heights than thin ones.
+	var fat, thin float64
+	var nf, nt int
+	for i, node := range hs.Nodes {
+		h := node.Coord()[DefaultConfig().Dims]
+		if i%4 == 0 {
+			fat += h
+			nf++
+		} else {
+			thin += h
+			nt++
+		}
+	}
+	if fat/float64(nf) <= thin/float64(nt) {
+		t.Fatalf("mean height fat %.2f <= thin %.2f — heights did not learn the access links",
+			fat/float64(nf), thin/float64(nt))
+	}
+}

@@ -22,16 +22,36 @@ import (
 
 // Version is the wire-format version byte leading every message frame.
 // Decoders reject frames from unknown versions as corrupt but accept the
-// previous version. The tolerance is decode-side only: new binaries read
-// old frames, while old binaries reject the new version — so a rolling
-// upgrade finishes cleanly once every sender is upgraded, but a mixed
-// federation is not a steady state.
-const Version = 2
+// earlier versions (the rule, recorded since v2: a version bump may only
+// append fields, and decoders must read every prior version by filling the
+// missing fields with that version's semantics). The tolerance is
+// decode-side only: new binaries read old frames, while old binaries
+// reject the new version — so a rolling upgrade finishes cleanly once
+// every sender is upgraded, but a mixed federation is not a steady state.
+//
+// Version 3 adds the query epoch: QueryMeta carries Epoch (so install and
+// reconciliation frames key queries on (name, epoch)), envelopes carry the
+// epoch their summary belongs to, removes carry the highest epoch they
+// retire, topology requests/replies name the epoch they resolve, and the
+// new InstallAck kind reports a wired epoch back to the query root.
+// Version-2 frames decode with Epoch 0 (the only epoch that existed) and
+// with removals covering every epoch (a v2 remove was a whole-query
+// remove).
+const Version = 3
 
-// VersionNoCoords is the previous wire format: identical except that
-// heartbeats end after the reconciliation hash, with no Vivaldi coordinate
-// extension. Decoders still accept it (version-tolerant decode).
+// VersionNoEpoch is the wire format before query epochs: no Epoch fields
+// anywhere and no InstallAck kind. Decoders still accept it.
+const VersionNoEpoch = 2
+
+// VersionNoCoords is the wire format before the heartbeat Vivaldi
+// coordinate extension (heartbeats end after the reconciliation hash).
+// Decoders still accept it.
 const VersionNoCoords = 1
+
+// AllEpochs is the Remove.Epoch / RemovedMark.Epoch value meaning the
+// removal covers every epoch of the query — a whole-query removal, and the
+// semantics of every pre-epoch (v2) removal.
+const AllEpochs = ^uint32(0)
 
 // Message kind tags.
 const (
@@ -43,6 +63,7 @@ const (
 	MsgReconDefs    = 6
 	MsgTopoRequest  = 7
 	MsgTopoReply    = 8
+	MsgInstallAck   = 9 // a peer reports a wired epoch to the query root
 )
 
 // QueryMeta is the part of a query definition every hosting peer keeps: the
@@ -56,6 +77,12 @@ type QueryMeta struct {
 	// Seq is the management command sequence number issued by the object
 	// store; peers use it to order installs against removals.
 	Seq uint64
+	// Epoch versions the query's physical plan: a replan reinstalls the
+	// same logical query under the next epoch, the two epochs run side by
+	// side while the new one wires up, and the old epoch is then retired
+	// with an epoch-scoped removal (make-before-break). Peers key instances
+	// on (Name, Epoch).
+	Epoch uint32
 	// OpName and OpArgs choose the in-network operator from the registry.
 	OpName string
 	OpArgs []string
@@ -90,6 +117,10 @@ type Envelope struct {
 	Tree    int // tree of the current hop
 	TTLDown uint8
 	SentAt  time.Duration // runtime time at transmit; receiver derives flight time (UdpCC RTT/2)
+	// Epoch is the query epoch the summary belongs to: during a migration
+	// both epochs of a query run side by side and a summary must only ever
+	// merge into the instance of its own tree set.
+	Epoch uint32
 }
 
 // Heartbeat flows parent -> child every heartbeat period. Every few beats
@@ -117,18 +148,59 @@ type Install struct {
 	Forward map[int][]int
 }
 
-// Remove multicasts a query removal along the same chunking.
+// Remove multicasts a query removal along the same chunking. Epoch scopes
+// it: only instances with epoch <= Epoch are torn down, so a delayed
+// old-epoch removal can never take a newer epoch with it. AllEpochs means
+// a whole-query removal (and is what every v2 frame decodes to).
 type Remove struct {
 	Name    string
 	Seq     uint64
+	Epoch   uint32
 	Forward map[int][]int
 }
 
+// QueryKey identifies one installed instance in reconciliation state: the
+// query name plus the plan epoch. During a migration a peer legitimately
+// hosts two epochs of the same name side by side.
+type QueryKey struct {
+	Name  string
+	Epoch uint32
+}
+
+// RemovedMark is a cached removal: the removal's sequence number and the
+// highest epoch it covers (AllEpochs for whole-query removals). An install
+// is superseded when its seq does not exceed the mark's AND its epoch is
+// covered — the epoch condition is what keeps a stale old-epoch removal
+// from suppressing the newer epoch's reinstalls.
+//
+// A query name carries a *set* of marks, not one: a whole-query removal
+// followed by a re-creation and an epoch retirement yields two removals
+// whose coverage rectangles (seq ≤ S, epoch ≤ E) are incomparable, and
+// collapsing them into either one would leak zombie instances in some
+// replay ordering. Peers keep the non-dominated set (an antichain, tiny
+// in practice) and reconciliation exchanges it whole.
+type RemovedMark struct {
+	Seq   uint64
+	Epoch uint32
+}
+
+// Dominates reports whether mark m covers at least everything o does.
+func (m RemovedMark) Dominates(o RemovedMark) bool {
+	return m.Seq >= o.Seq && m.Epoch >= o.Epoch
+}
+
+// Covers reports whether the mark supersedes an install of the given
+// (seq, epoch).
+func (m RemovedMark) Covers(seq uint64, epoch uint32) bool {
+	return m.Seq >= seq && epoch <= m.Epoch
+}
+
 // ReconSummary opens pair-wise reconciliation: the full (small) summary of
-// the sender's installed queries and cached removals (§6.1).
+// the sender's installed queries and cached removals (§6.1), keyed on
+// (name, epoch) so migrating queries reconcile both live epochs.
 type ReconSummary struct {
-	Installed map[string]uint64 // name -> seq
-	Removed   map[string]uint64
+	Installed map[QueryKey]uint64 // (name, epoch) -> seq
+	Removed   map[string][]RemovedMark
 	Metas     []QueryMeta // metadata for everything installed, so the peer can adopt
 }
 
@@ -136,23 +208,38 @@ type ReconSummary struct {
 // it had not seen.
 type ReconDefs struct {
 	Metas   []QueryMeta
-	Removed map[string]uint64
+	Removed map[string][]RemovedMark
 }
 
 // TopoRequest asks a query root (the topology server) for the requester's
-// parent/child sets (§6.1).
+// parent/child sets in one epoch's tree set (§6.1).
 type TopoRequest struct {
 	Query string
+	Epoch uint32
 	Peer  int
 }
 
 // TopoReply returns the requester's position in the tree set.
 type TopoReply struct {
 	Query string
+	Epoch uint32
 	Seq   uint64
 	NB    Neighbors
 	// Unknown is set when the root no longer knows the query (removed).
 	Unknown bool
+}
+
+// InstallAck reports to the query root that Peer has installed and wired
+// the given epoch. The root retires the previous epoch once every member
+// has acked the new one (make-before-break); peers that still host an
+// older epoch re-ack on reconciliation beats, so a lost ack cannot stall a
+// migration forever. Epoch-0 installs are never acked — the initial
+// install has nothing to retire.
+type InstallAck struct {
+	Query string
+	Epoch uint32
+	Seq   uint64
+	Peer  int
 }
 
 func (w *Buffer) appendKind(k byte) { w.b = append(w.b, Version, k) }
@@ -186,6 +273,9 @@ func EncodeMessage(w *Buffer, msg any) error {
 	case TopoReply:
 		w.appendKind(MsgTopoReply)
 		EncodeTopoReply(w, m)
+	case InstallAck:
+		w.appendKind(MsgInstallAck)
+		EncodeInstallAck(w, m)
 	default:
 		return fmt.Errorf("wire: unsupported message type %T", msg)
 	}
@@ -199,7 +289,7 @@ func EncodeMessage(w *Buffer, msg any) error {
 func DecodeMessage(b []byte) (any, error) {
 	r := NewReader(b)
 	v, err := r.Byte()
-	if err != nil || (v != Version && v != VersionNoCoords) {
+	if err != nil || v < VersionNoCoords || v > Version {
 		return nil, fmt.Errorf("wire: bad version: %w", ErrCorrupt)
 	}
 	kind, err := r.Byte()
@@ -210,23 +300,25 @@ func DecodeMessage(b []byte) (any, error) {
 	switch kind {
 	case MsgEnvelope:
 		var e Envelope
-		if e, err = DecodeEnvelope(r); err == nil {
+		if e, err = decodeEnvelopeVersion(r, v); err == nil {
 			msg = &e
 		}
 	case MsgHeartbeat:
 		msg, err = decodeHeartbeatVersion(r, v)
 	case MsgInstall:
-		msg, err = DecodeInstall(r)
+		msg, err = decodeInstallVersion(r, v)
 	case MsgRemove:
-		msg, err = DecodeRemove(r)
+		msg, err = decodeRemoveVersion(r, v)
 	case MsgReconSummary:
-		msg, err = DecodeReconSummary(r)
+		msg, err = decodeReconSummaryVersion(r, v)
 	case MsgReconDefs:
-		msg, err = DecodeReconDefs(r)
+		msg, err = decodeReconDefsVersion(r, v)
 	case MsgTopoRequest:
-		msg, err = DecodeTopoRequest(r)
+		msg, err = decodeTopoRequestVersion(r, v)
 	case MsgTopoReply:
-		msg, err = DecodeTopoReply(r)
+		msg, err = decodeTopoReplyVersion(r, v)
+	case MsgInstallAck:
+		msg, err = DecodeInstallAck(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d: %w", kind, ErrCorrupt)
 	}
@@ -242,18 +334,25 @@ func DecodeMessage(b []byte) (any, error) {
 // --- Envelope ---
 
 // EncodeEnvelope appends an envelope payload: the summary with its routing
-// state, the hop's tree, and the transmit timestamp.
+// state, the hop's tree, the transmit timestamp, and the query epoch.
 func EncodeEnvelope(w *Buffer, e *Envelope) error {
 	if err := EncodeSummary(w, e.S, e.TTLDown); err != nil {
 		return err
 	}
 	w.PutVarint(int64(e.Tree))
 	w.PutDuration(e.SentAt)
+	w.PutUvarint(uint64(e.Epoch))
 	return nil
 }
 
-// DecodeEnvelope reads an envelope payload.
-func DecodeEnvelope(r *Reader) (e Envelope, err error) {
+// DecodeEnvelope reads a current-version envelope payload.
+func DecodeEnvelope(r *Reader) (Envelope, error) {
+	return decodeEnvelopeVersion(r, Version)
+}
+
+// decodeEnvelopeVersion reads an envelope payload in the given frame
+// version: pre-epoch payloads end after the transmit timestamp.
+func decodeEnvelopeVersion(r *Reader, v byte) (e Envelope, err error) {
 	if e.S, e.TTLDown, err = DecodeSummary(r); err != nil {
 		return
 	}
@@ -262,8 +361,23 @@ func DecodeEnvelope(r *Reader) (e Envelope, err error) {
 		return
 	}
 	e.Tree = int(tree)
-	e.SentAt, err = r.Duration()
+	if e.SentAt, err = r.Duration(); err != nil {
+		return
+	}
+	if v < Version {
+		return
+	}
+	e.Epoch, err = r.epoch()
 	return
+}
+
+// epoch reads one epoch field, bounds-checked against uint32.
+func (r *Reader) epoch() (uint32, error) {
+	v, err := r.Uvarint()
+	if err != nil || v > uint64(AllEpochs) {
+		return 0, ErrCorrupt
+	}
+	return uint32(v), nil
 }
 
 // --- Heartbeat ---
@@ -341,6 +455,7 @@ func decodeHeartbeatVersion(r *Reader, v byte) (m Heartbeat, err error) {
 func EncodeQueryMeta(w *Buffer, m QueryMeta) {
 	w.PutString(m.Name)
 	w.PutUvarint(m.Seq)
+	w.PutUvarint(uint64(m.Epoch))
 	w.PutString(m.OpName)
 	w.PutUvarint(uint64(len(m.OpArgs)))
 	for _, a := range m.OpArgs {
@@ -356,13 +471,25 @@ func EncodeQueryMeta(w *Buffer, m QueryMeta) {
 	w.PutDuration(m.IssuedSim)
 }
 
-// DecodeQueryMeta reads query metadata.
-func DecodeQueryMeta(r *Reader) (m QueryMeta, err error) {
+// DecodeQueryMeta reads current-version query metadata.
+func DecodeQueryMeta(r *Reader) (QueryMeta, error) {
+	return decodeQueryMetaVersion(r, Version)
+}
+
+// decodeQueryMetaVersion reads query metadata in the given frame version:
+// pre-epoch metadata has no Epoch field (it decodes as epoch 0, the only
+// epoch that existed).
+func decodeQueryMetaVersion(r *Reader, v byte) (m QueryMeta, err error) {
 	if m.Name, err = r.String(); err != nil {
 		return
 	}
 	if m.Seq, err = r.Uvarint(); err != nil {
 		return
+	}
+	if v >= Version {
+		if m.Epoch, err = r.epoch(); err != nil {
+			return
+		}
 	}
 	if m.OpName, err = r.String(); err != nil {
 		return
@@ -391,22 +518,22 @@ func DecodeQueryMeta(r *Reader) (m QueryMeta, err error) {
 	if m.Window.Slide, err = r.Duration(); err != nil {
 		return
 	}
-	var v int64
-	if v, err = r.Varint(); err != nil {
+	var iv int64
+	if iv, err = r.Varint(); err != nil {
 		return
 	}
-	m.Window.RangeN = int(v)
-	if v, err = r.Varint(); err != nil {
+	m.Window.RangeN = int(iv)
+	if iv, err = r.Varint(); err != nil {
 		return
 	}
-	m.Window.SlideN = int(v)
+	m.Window.SlideN = int(iv)
 	if m.FilterKey, err = r.String(); err != nil {
 		return
 	}
-	if v, err = r.Varint(); err != nil {
+	if iv, err = r.Varint(); err != nil {
 		return
 	}
-	m.Root = int(v)
+	m.Root = int(iv)
 	m.IssuedSim, err = r.Duration()
 	return
 }
@@ -480,16 +607,6 @@ func sortedPeers[V any](m map[int]V) []int {
 	return keys
 }
 
-// sortedNames returns a map's name keys in ascending order.
-func sortedNames(m map[string]uint64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
 func encodeForward(w *Buffer, fwd map[int][]int) {
 	w.PutUvarint(uint64(len(fwd)))
 	for _, p := range sortedPeers(fwd) {
@@ -544,9 +661,13 @@ func EncodeInstall(w *Buffer, m Install) error {
 	return nil
 }
 
-// DecodeInstall reads an install-chunk payload.
-func DecodeInstall(r *Reader) (m Install, err error) {
-	if m.Meta, err = DecodeQueryMeta(r); err != nil {
+// DecodeInstall reads a current-version install-chunk payload.
+func DecodeInstall(r *Reader) (Install, error) {
+	return decodeInstallVersion(r, Version)
+}
+
+func decodeInstallVersion(r *Reader, v byte) (m Install, err error) {
+	if m.Meta, err = decodeQueryMetaVersion(r, v); err != nil {
 		return
 	}
 	var n uint64
@@ -576,16 +697,30 @@ func DecodeInstall(r *Reader) (m Install, err error) {
 func EncodeRemove(w *Buffer, m Remove) {
 	w.PutString(m.Name)
 	w.PutUvarint(m.Seq)
+	w.PutUvarint(uint64(m.Epoch))
 	encodeForward(w, m.Forward)
 }
 
-// DecodeRemove reads a remove-multicast payload.
-func DecodeRemove(r *Reader) (m Remove, err error) {
+// DecodeRemove reads a current-version remove-multicast payload.
+func DecodeRemove(r *Reader) (Remove, error) {
+	return decodeRemoveVersion(r, Version)
+}
+
+// decodeRemoveVersion reads a remove payload in the given frame version: a
+// pre-epoch remove has no Epoch field and was a whole-query removal, so it
+// decodes as AllEpochs.
+func decodeRemoveVersion(r *Reader, v byte) (m Remove, err error) {
 	if m.Name, err = r.String(); err != nil {
 		return
 	}
 	if m.Seq, err = r.Uvarint(); err != nil {
 		return
+	}
+	m.Epoch = AllEpochs
+	if v >= Version {
+		if m.Epoch, err = r.epoch(); err != nil {
+			return
+		}
 	}
 	m.Forward, err = decodeForward(r)
 	return
@@ -593,15 +728,34 @@ func DecodeRemove(r *Reader) (m Remove, err error) {
 
 // --- Reconciliation ---
 
-func encodeNameSeqs(w *Buffer, m map[string]uint64) {
+// sortedKeys returns an installed map's keys ordered by (name, epoch), for
+// deterministic encoding.
+func sortedKeys(m map[QueryKey]uint64) []QueryKey {
+	keys := make([]QueryKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Name != keys[j].Name {
+			return keys[i].Name < keys[j].Name
+		}
+		return keys[i].Epoch < keys[j].Epoch
+	})
+	return keys
+}
+
+func encodeInstalled(w *Buffer, m map[QueryKey]uint64) {
 	w.PutUvarint(uint64(len(m)))
-	for _, name := range sortedNames(m) {
-		w.PutString(name)
-		w.PutUvarint(m[name])
+	for _, k := range sortedKeys(m) {
+		w.PutString(k.Name)
+		w.PutUvarint(uint64(k.Epoch))
+		w.PutUvarint(m[k])
 	}
 }
 
-func decodeNameSeqs(r *Reader) (map[string]uint64, error) {
+// decodeInstalled reads the installed set: (name, epoch, seq) triples in
+// the current version, (name, seq) pairs — epoch 0 — before it.
+func decodeInstalled(r *Reader, v byte) (map[QueryKey]uint64, error) {
 	n, err := r.Uvarint()
 	if err != nil || n > uint64(r.Remaining()) {
 		return nil, ErrCorrupt
@@ -609,17 +763,95 @@ func decodeNameSeqs(r *Reader) (map[string]uint64, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	m := make(map[string]uint64, n)
+	m := make(map[QueryKey]uint64, n)
 	for i := uint64(0); i < n; i++ {
-		name, err := r.String()
-		if err != nil {
+		var k QueryKey
+		if k.Name, err = r.String(); err != nil {
 			return nil, err
+		}
+		if v >= Version {
+			if k.Epoch, err = r.epoch(); err != nil {
+				return nil, err
+			}
 		}
 		seq, err := r.Uvarint()
 		if err != nil {
 			return nil, err
 		}
-		m[name] = seq
+		m[k] = seq
+	}
+	return m, nil
+}
+
+// SortMarks orders a mark set by (seq, epoch) — the canonical order the
+// codec encodes and peers iterate.
+func SortMarks(marks []RemovedMark) {
+	sort.Slice(marks, func(i, j int) bool {
+		if marks[i].Seq != marks[j].Seq {
+			return marks[i].Seq < marks[j].Seq
+		}
+		return marks[i].Epoch < marks[j].Epoch
+	})
+}
+
+func encodeRemovedMarks(w *Buffer, m map[string][]RemovedMark) {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	w.PutUvarint(uint64(len(names)))
+	for _, name := range names {
+		w.PutString(name)
+		marks := append([]RemovedMark(nil), m[name]...)
+		SortMarks(marks)
+		w.PutUvarint(uint64(len(marks)))
+		for _, mark := range marks {
+			w.PutUvarint(mark.Seq)
+			w.PutUvarint(uint64(mark.Epoch))
+		}
+	}
+}
+
+// decodeRemovedMarks reads the removal set. Pre-epoch (v2) removals carry
+// one seq per name and were whole-query, so they decode as a single
+// {seq, AllEpochs} mark.
+func decodeRemovedMarks(r *Reader, v byte) (map[string][]RemovedMark, error) {
+	n, err := r.Uvarint()
+	if err != nil || n > uint64(r.Remaining()) {
+		return nil, ErrCorrupt
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	m := make(map[string][]RemovedMark, n)
+	for i := uint64(0); i < n; i++ {
+		name, err := r.String()
+		if err != nil {
+			return nil, err
+		}
+		if v < Version {
+			seq, err := r.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			m[name] = []RemovedMark{{Seq: seq, Epoch: AllEpochs}}
+			continue
+		}
+		cnt, err := r.Uvarint()
+		if err != nil || cnt > uint64(r.Remaining()) {
+			return nil, ErrCorrupt
+		}
+		marks := make([]RemovedMark, cnt)
+		for j := range marks {
+			if marks[j].Seq, err = r.Uvarint(); err != nil {
+				return nil, err
+			}
+			if marks[j].Epoch, err = r.epoch(); err != nil {
+				return nil, err
+			}
+		}
+		m[name] = marks
 	}
 	return m, nil
 }
@@ -631,7 +863,7 @@ func encodeMetas(w *Buffer, metas []QueryMeta) {
 	}
 }
 
-func decodeMetas(r *Reader) ([]QueryMeta, error) {
+func decodeMetas(r *Reader, v byte) ([]QueryMeta, error) {
 	n, err := r.Uvarint()
 	if err != nil || n > uint64(r.Remaining()) {
 		return nil, ErrCorrupt
@@ -641,7 +873,7 @@ func decodeMetas(r *Reader) ([]QueryMeta, error) {
 	}
 	metas := make([]QueryMeta, n)
 	for i := range metas {
-		if metas[i], err = DecodeQueryMeta(r); err != nil {
+		if metas[i], err = decodeQueryMetaVersion(r, v); err != nil {
 			return nil, err
 		}
 	}
@@ -650,35 +882,44 @@ func decodeMetas(r *Reader) ([]QueryMeta, error) {
 
 // EncodeReconSummary appends a reconciliation-summary payload.
 func EncodeReconSummary(w *Buffer, m ReconSummary) {
-	encodeNameSeqs(w, m.Installed)
-	encodeNameSeqs(w, m.Removed)
+	encodeInstalled(w, m.Installed)
+	encodeRemovedMarks(w, m.Removed)
 	encodeMetas(w, m.Metas)
 }
 
-// DecodeReconSummary reads a reconciliation-summary payload.
-func DecodeReconSummary(r *Reader) (m ReconSummary, err error) {
-	if m.Installed, err = decodeNameSeqs(r); err != nil {
+// DecodeReconSummary reads a current-version reconciliation-summary
+// payload.
+func DecodeReconSummary(r *Reader) (ReconSummary, error) {
+	return decodeReconSummaryVersion(r, Version)
+}
+
+func decodeReconSummaryVersion(r *Reader, v byte) (m ReconSummary, err error) {
+	if m.Installed, err = decodeInstalled(r, v); err != nil {
 		return
 	}
-	if m.Removed, err = decodeNameSeqs(r); err != nil {
+	if m.Removed, err = decodeRemovedMarks(r, v); err != nil {
 		return
 	}
-	m.Metas, err = decodeMetas(r)
+	m.Metas, err = decodeMetas(r, v)
 	return
 }
 
 // EncodeReconDefs appends a reconciliation-reply payload.
 func EncodeReconDefs(w *Buffer, m ReconDefs) {
 	encodeMetas(w, m.Metas)
-	encodeNameSeqs(w, m.Removed)
+	encodeRemovedMarks(w, m.Removed)
 }
 
-// DecodeReconDefs reads a reconciliation-reply payload.
-func DecodeReconDefs(r *Reader) (m ReconDefs, err error) {
-	if m.Metas, err = decodeMetas(r); err != nil {
+// DecodeReconDefs reads a current-version reconciliation-reply payload.
+func DecodeReconDefs(r *Reader) (ReconDefs, error) {
+	return decodeReconDefsVersion(r, Version)
+}
+
+func decodeReconDefsVersion(r *Reader, v byte) (m ReconDefs, err error) {
+	if m.Metas, err = decodeMetas(r, v); err != nil {
 		return
 	}
-	m.Removed, err = decodeNameSeqs(r)
+	m.Removed, err = decodeRemovedMarks(r, v)
 	return
 }
 
@@ -687,13 +928,23 @@ func DecodeReconDefs(r *Reader) (m ReconDefs, err error) {
 // EncodeTopoRequest appends a topology-request payload.
 func EncodeTopoRequest(w *Buffer, m TopoRequest) {
 	w.PutString(m.Query)
+	w.PutUvarint(uint64(m.Epoch))
 	w.PutVarint(int64(m.Peer))
 }
 
-// DecodeTopoRequest reads a topology-request payload.
-func DecodeTopoRequest(r *Reader) (m TopoRequest, err error) {
+// DecodeTopoRequest reads a current-version topology-request payload.
+func DecodeTopoRequest(r *Reader) (TopoRequest, error) {
+	return decodeTopoRequestVersion(r, Version)
+}
+
+func decodeTopoRequestVersion(r *Reader, v byte) (m TopoRequest, err error) {
 	if m.Query, err = r.String(); err != nil {
 		return
+	}
+	if v >= Version {
+		if m.Epoch, err = r.epoch(); err != nil {
+			return
+		}
 	}
 	var p int64
 	if p, err = r.Varint(); err != nil {
@@ -706,15 +957,25 @@ func DecodeTopoRequest(r *Reader) (m TopoRequest, err error) {
 // EncodeTopoReply appends a topology-reply payload.
 func EncodeTopoReply(w *Buffer, m TopoReply) {
 	w.PutString(m.Query)
+	w.PutUvarint(uint64(m.Epoch))
 	w.PutUvarint(m.Seq)
 	EncodeNeighbors(w, m.NB)
 	w.PutBool(m.Unknown)
 }
 
-// DecodeTopoReply reads a topology-reply payload.
-func DecodeTopoReply(r *Reader) (m TopoReply, err error) {
+// DecodeTopoReply reads a current-version topology-reply payload.
+func DecodeTopoReply(r *Reader) (TopoReply, error) {
+	return decodeTopoReplyVersion(r, Version)
+}
+
+func decodeTopoReplyVersion(r *Reader, v byte) (m TopoReply, err error) {
 	if m.Query, err = r.String(); err != nil {
 		return
+	}
+	if v >= Version {
+		if m.Epoch, err = r.epoch(); err != nil {
+			return
+		}
 	}
 	if m.Seq, err = r.Uvarint(); err != nil {
 		return
@@ -723,5 +984,35 @@ func DecodeTopoReply(r *Reader) (m TopoReply, err error) {
 		return
 	}
 	m.Unknown, err = r.Bool()
+	return
+}
+
+// --- Install acknowledgement ---
+
+// EncodeInstallAck appends an install-ack payload.
+func EncodeInstallAck(w *Buffer, m InstallAck) {
+	w.PutString(m.Query)
+	w.PutUvarint(uint64(m.Epoch))
+	w.PutUvarint(m.Seq)
+	w.PutVarint(int64(m.Peer))
+}
+
+// DecodeInstallAck reads an install-ack payload. The kind itself is new in
+// Version 3, so there is no prior version to tolerate.
+func DecodeInstallAck(r *Reader) (m InstallAck, err error) {
+	if m.Query, err = r.String(); err != nil {
+		return
+	}
+	if m.Epoch, err = r.epoch(); err != nil {
+		return
+	}
+	if m.Seq, err = r.Uvarint(); err != nil {
+		return
+	}
+	var p int64
+	if p, err = r.Varint(); err != nil {
+		return
+	}
+	m.Peer = int(p)
 	return
 }

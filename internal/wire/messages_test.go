@@ -15,6 +15,7 @@ func sampleMeta() QueryMeta {
 	return QueryMeta{
 		Name:      "wifi-top5",
 		Seq:       7,
+		Epoch:     2,
 		OpName:    "topk",
 		OpArgs:    []string{"5", "rssi"},
 		Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: 2 * time.Second, Slide: time.Second},
@@ -49,6 +50,7 @@ func sampleMessages() []any {
 			Tree:    2,
 			TTLDown: 1,
 			SentAt:  123456 * time.Microsecond,
+			Epoch:   3,
 		},
 		Heartbeat{Seq: 300, Hash: 0xdeadbeefcafe},
 		Heartbeat{Seq: 1}, // no piggybacked hash
@@ -61,20 +63,22 @@ func sampleMessages() []any {
 			},
 			Forward: map[int][]int{3: {9, 12}, 9: {14}},
 		},
-		Remove{Name: "cpu-sum", Seq: 9, Forward: map[int][]int{0: {1, 2}}},
+		Remove{Name: "cpu-sum", Seq: 9, Epoch: AllEpochs, Forward: map[int][]int{0: {1, 2}}},
+		Remove{Name: "cpu-sum", Seq: 12, Epoch: 3}, // epoch-scoped retirement
 		ReconSummary{
-			Installed: map[string]uint64{"a": 1, "b": 2},
-			Removed:   map[string]uint64{"c": 3},
+			Installed: map[QueryKey]uint64{{Name: "a", Epoch: 0}: 1, {Name: "a", Epoch: 1}: 4, {Name: "b", Epoch: 0}: 2},
+			Removed:   map[string][]RemovedMark{"c": {{Seq: 3, Epoch: AllEpochs}, {Seq: 7, Epoch: 1}}},
 			Metas:     []QueryMeta{sampleMeta()},
 		},
 		ReconSummary{}, // an idle peer's summary: everything empty
 		ReconDefs{
 			Metas:   []QueryMeta{sampleMeta(), {Name: "bare", OpName: "count", Window: tuple.WindowSpec{Kind: tuple.TupleWindow, RangeN: 20, SlideN: 10}}},
-			Removed: map[string]uint64{"gone": 4},
+			Removed: map[string][]RemovedMark{"gone": {{Seq: 4, Epoch: 2}}},
 		},
-		TopoRequest{Query: "cpu-sum", Peer: 17},
-		TopoReply{Query: "cpu-sum", Seq: 2, NB: sampleNeighbors()},
+		TopoRequest{Query: "cpu-sum", Epoch: 2, Peer: 17},
+		TopoReply{Query: "cpu-sum", Epoch: 2, Seq: 2, NB: sampleNeighbors()},
 		TopoReply{Query: "gone", Seq: 5, Unknown: true}, // zero NB
+		InstallAck{Query: "cpu-sum", Epoch: 2, Seq: 11, Peer: 6},
 	}
 }
 
@@ -176,6 +180,124 @@ func TestHeartbeatVersionTolerance(t *testing.T) {
 	w.PutUvarint(1 << 40)
 	if _, err := DecodeMessage(w.Bytes()); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("absurd coord dimension: %v", err)
+	}
+}
+
+// encodeV2 builds a version-2 frame by hand: the pre-epoch layouts, which
+// v3 decoders must still read with epoch 0 (installs) / AllEpochs
+// (removals).
+func encodeV2(kind byte, payload func(w *Buffer)) []byte {
+	var w Buffer
+	w.b = append(w.b, VersionNoEpoch, kind)
+	payload(&w)
+	return w.Bytes()
+}
+
+// putV2Meta appends query metadata in the v2 layout (no Epoch field).
+func putV2Meta(w *Buffer, name string, seq uint64) {
+	w.PutString(name)
+	w.PutUvarint(seq)
+	w.PutString("count")
+	w.PutUvarint(0) // no op args
+	w.PutByte(byte(tuple.TimeWindow))
+	w.PutDuration(time.Second) // range
+	w.PutDuration(time.Second) // slide
+	w.PutVarint(0)             // RangeN
+	w.PutVarint(0)             // SlideN
+	w.PutString("")            // filter key
+	w.PutVarint(0)             // root
+	w.PutDuration(0)           // issued
+}
+
+// Version-2 frames predate query epochs; v3 decoders must read every kind
+// that grew an epoch field, filling it with that version's semantics:
+// epoch 0 for installs and topology traffic (the only epoch that existed),
+// AllEpochs for removals (a v2 remove was a whole-query remove).
+func TestEpochVersionTolerance(t *testing.T) {
+	// Install: meta without epoch, no members, no forward edges.
+	b := encodeV2(MsgInstall, func(w *Buffer) {
+		putV2Meta(w, "q", 5)
+		w.PutUvarint(0)
+		w.PutUvarint(0)
+	})
+	got, err := DecodeMessage(b)
+	if err != nil {
+		t.Fatalf("v2 install rejected: %v", err)
+	}
+	if m := got.(Install); m.Meta.Name != "q" || m.Meta.Seq != 5 || m.Meta.Epoch != 0 {
+		t.Fatalf("v2 install decoded as %#v", m.Meta)
+	}
+
+	// Remove: no epoch field -> whole-query removal.
+	b = encodeV2(MsgRemove, func(w *Buffer) {
+		w.PutString("q")
+		w.PutUvarint(9)
+		w.PutUvarint(0) // empty forward map
+	})
+	if got, err = DecodeMessage(b); err != nil {
+		t.Fatalf("v2 remove rejected: %v", err)
+	}
+	if m := got.(Remove); m.Epoch != AllEpochs || m.Seq != 9 {
+		t.Fatalf("v2 remove decoded as %#v", m)
+	}
+
+	// ReconSummary: name->seq pairs, no epochs.
+	b = encodeV2(MsgReconSummary, func(w *Buffer) {
+		w.PutUvarint(1) // installed
+		w.PutString("q")
+		w.PutUvarint(5)
+		w.PutUvarint(1) // removed
+		w.PutString("gone")
+		w.PutUvarint(3)
+		w.PutUvarint(0) // metas
+	})
+	if got, err = DecodeMessage(b); err != nil {
+		t.Fatalf("v2 recon summary rejected: %v", err)
+	}
+	rs := got.(ReconSummary)
+	if rs.Installed[QueryKey{Name: "q"}] != 5 {
+		t.Fatalf("v2 installed decoded as %#v", rs.Installed)
+	}
+	if len(rs.Removed["gone"]) != 1 || rs.Removed["gone"][0] != (RemovedMark{Seq: 3, Epoch: AllEpochs}) {
+		t.Fatalf("v2 removed decoded as %#v", rs.Removed)
+	}
+
+	// Envelope: ends after SentAt; epoch 0.
+	b = encodeV2(MsgEnvelope, func(w *Buffer) {
+		if err := EncodeSummary(w, tuple.Summary{Query: "q", Count: 1, Levels: []int16{0}}, 0); err != nil {
+			t.Fatal(err)
+		}
+		w.PutVarint(1)
+		w.PutDuration(time.Millisecond)
+	})
+	if got, err = DecodeMessage(b); err != nil {
+		t.Fatalf("v2 envelope rejected: %v", err)
+	}
+	if e := got.(*Envelope); e.Epoch != 0 || e.Tree != 1 {
+		t.Fatalf("v2 envelope decoded as %#v", e)
+	}
+
+	// TopoRequest: no epoch field.
+	b = encodeV2(MsgTopoRequest, func(w *Buffer) {
+		w.PutString("q")
+		w.PutVarint(4)
+	})
+	if got, err = DecodeMessage(b); err != nil {
+		t.Fatalf("v2 topo request rejected: %v", err)
+	}
+	if m := got.(TopoRequest); m.Epoch != 0 || m.Peer != 4 {
+		t.Fatalf("v2 topo request decoded as %#v", m)
+	}
+
+	// An epoch field beyond uint32 is corrupt, not silently truncated.
+	var w Buffer
+	w.b = append(w.b, Version, MsgRemove)
+	w.PutString("q")
+	w.PutUvarint(1)
+	w.PutUvarint(1 << 40)
+	w.PutUvarint(0)
+	if _, err := DecodeMessage(w.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized epoch: %v", err)
 	}
 }
 

@@ -1,0 +1,151 @@
+// Command benchcompare gates CI on benchmark regressions: it reads two
+// `go test -json -bench` outputs (the previous run's artifact and the
+// current run's), extracts ns/op per benchmark, and fails when any
+// benchmark matching the filter regressed beyond the allowed ratio.
+//
+// Multiple samples of one benchmark (-count > 1) collapse to their
+// minimum — the least-noise estimate of the true cost, the standard trick
+// for comparing runs on shared CI hardware.
+//
+// Usage:
+//
+//	benchcompare -old prev.json -new now.json -match 'BenchmarkWire|BenchmarkNetrtHeartbeat' -max-ratio 1.25
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json's stream we care about.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches a benchmark result line inside an output event:
+// name (with the -GOMAXPROCS suffix), iteration count, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// bareLine matches a result whose name test2json emitted in a previous
+// event (the stream sometimes splits "BenchmarkX \t" and "100\t... ns/op"
+// across events, carrying the name only in the Test field).
+var bareLine = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op`)
+
+// load reads a -json bench stream and returns min ns/op per benchmark.
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	record := func(name string, nsText string) {
+		ns, err := strconv.ParseFloat(nsText, 64)
+		if err != nil || name == "" {
+			return
+		}
+		name = strings.Split(name, "-")[0] // drop any -GOMAXPROCS suffix
+		if cur, ok := out[name]; !ok || ns < cur {
+			out[name] = ns
+		}
+	}
+	// lastName carries a benchmark name across events for streams where
+	// test2json splits the name and the result line.
+	lastName := ""
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// Tolerate plain `go test -bench` output interleaved with the
+			// JSON stream (or a non-JSON file altogether).
+			ev = event{Action: "output", Output: string(line)}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := strings.TrimSpace(ev.Output)
+		if m := benchLine.FindStringSubmatch(text); m != nil {
+			record(m[1], m[2])
+			lastName = ""
+			continue
+		}
+		if ev.Test != "" {
+			lastName = ev.Test
+		} else if strings.HasPrefix(text, "Benchmark") && strings.Fields(text) != nil {
+			lastName = strings.Fields(text)[0]
+		}
+		if m := bareLine.FindStringSubmatch(text); m != nil {
+			name := ev.Test
+			if name == "" {
+				name = lastName
+			}
+			record(name, m[1])
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous run's bench output (test2json stream)")
+	newPath := flag.String("new", "", "current run's bench output")
+	match := flag.String("match", ".*", "regexp of benchmark names to gate on")
+	maxRatio := flag.Float64("max-ratio", 1.25, "fail when new/old ns/op exceeds this for any gated benchmark")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -old and -new are required")
+		os.Exit(2)
+	}
+	filter, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	oldNs, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		if _, ok := oldNs[name]; ok && filter.MatchString(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Println("benchcompare: no overlapping benchmarks to gate on")
+		return
+	}
+	failed := false
+	for _, name := range names {
+		ratio := newNs[name] / oldNs[name]
+		verdict := "ok"
+		if ratio > *maxRatio {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		fmt.Printf("%-44s %12.1f -> %12.1f ns/op  (%.2fx)  %s\n",
+			name, oldNs[name], newNs[name], ratio, verdict)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcompare: regression beyond %.2fx detected\n", *maxRatio)
+		os.Exit(1)
+	}
+}
