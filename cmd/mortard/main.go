@@ -7,9 +7,12 @@
 //   - -live: real concurrency — every peer is a goroutine with a mailbox,
 //     timers fire on the wall clock, and messages cross an in-process
 //     lossy transport. The run takes -duration of real time.
-//   - -peers-file: the multi-process UDP mode — every peer binds a socket
-//     from the shared peers file (one host:port per line, line i = peer i)
-//     and all traffic crosses the wire as internal/wire datagrams. Each
+//   - -peers-file: the multi-process UDP mode — peers bind sockets from
+//     the shared peers file (one host:port per line, line i = peer i; or
+//     ranged lines "host:port lo-hi" multiplexing many peers behind one
+//     socket) and all traffic crosses the wire as internal/wire datagrams.
+//     -gen-peers-file writes such a ranged file for -peers peers, chunked
+//     -peers-per-socket per address from -base-port up. Each
 //     process hosts the peer range given by -host. The process hosting
 //     peer 0 is the coordinator: it learns pair latencies, plans the
 //     queries, and runs the install multicast; worker processes receive
@@ -22,7 +25,11 @@
 //     and convergence is logged. -mtu sets the datagram size above which
 //     frames fragment (with NACK repair and reassembly); -pace sets the
 //     token-bucket rate outgoing datagrams drain at; -vivaldi-height
-//     embeds with height-vector coordinates (access-link latency).
+//     embeds with height-vector coordinates (access-link latency);
+//     -coalesce batches small frames to one remote socket into train
+//     datagrams; -probe-rounds 0 skips all-pairs probing (the planner
+//     falls back to default latencies — the scale-run setting); -pprof
+//     serves net/http/pprof for hot-path profiles.
 //
 // With -replan (live and UDP coordinator modes) the process monitors the
 // latency view for drift: when a query's deployed tree set costs more
@@ -50,7 +57,11 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	goruntime "runtime"
+	"strings"
 	"time"
 
 	"repro/internal/eventsim"
@@ -82,8 +93,29 @@ func main() {
 		height   = flag.Bool("vivaldi-height", false, "UDP mode: embed with Vivaldi height-vector coordinates (models access-link latency; all processes must agree)")
 		replan   = flag.Bool("replan", false, "coordinator: monitor the embedding for drift and live-replan queries into new epochs (make-before-break migration)")
 		driftThr = flag.Float64("drift-threshold", 0.25, "with -replan: relative cost degradation of the deployed plan versus a fresh candidate that triggers a replan")
+		coalesce = flag.Bool("coalesce", false, "UDP mode: batch small frames to one remote socket into coalesced train datagrams")
+		probeRds = flag.Int("probe-rounds", 5, "UDP mode, coordinator without -vivaldi: ProbeAll rounds before planning (0 skips probing — planning falls back to default latencies; use at scales where all-pairs probing is prohibitive)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for hot-path profiles during scale runs")
+		genPeers = flag.String("gen-peers-file", "", "write a ranged peers file for -peers peers multiplexed -peers-per-socket per address starting at -base-port, then exit")
+		perSock  = flag.Int("peers-per-socket", 1, "with -gen-peers-file: peers multiplexed behind each host:port")
+		basePort = flag.Int("base-port", 9000, "with -gen-peers-file: first UDP port to assign")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "# pprof server: %v\n", err)
+			}
+		}()
+		fmt.Printf("# pprof listening on %s\n", *pprofA)
+	}
+	if *genPeers != "" {
+		if err := writePeersFile(*genPeers, *peers, *perSock, *basePort); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	src := "query peers as count() from sensors window time 1s slide 1s trees 4 bf 16"
 	if *program != "" {
@@ -101,8 +133,8 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	if *peersFil != "" {
 		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration,
-			netrt.Options{Seed: *seed, MTU: *mtu, Pace: *pace, VivaldiHeight: *height},
-			*vivaldiM, *replan, *driftThr)
+			netrt.Options{Seed: *seed, MTU: *mtu, Pace: *pace, VivaldiHeight: *height, Coalesce: *coalesce},
+			*vivaldiM, *replan, *driftThr, *probeRds)
 		return
 	}
 	if *live {
@@ -139,6 +171,34 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, err)
 	os.Exit(1)
+}
+
+// writePeersFile emits a ranged peers file multiplexing perSock consecutive
+// peers behind each 127.0.0.1 port from basePort up — the -peers-file every
+// process of a scale run shares.
+func writePeersFile(path string, peers, perSock, basePort int) error {
+	if peers <= 0 || perSock <= 0 || basePort <= 0 || basePort > 65535 {
+		return fmt.Errorf("mortard: -gen-peers-file needs positive -peers, -peers-per-socket, and a valid -base-port")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %d peers, %d per socket, ports from %d\n", peers, perSock, basePort)
+	port := basePort
+	for lo := 0; lo < peers; lo += perSock {
+		hi := lo + perSock - 1
+		if hi >= peers {
+			hi = peers - 1
+		}
+		if port > 65535 {
+			return fmt.Errorf("mortard: -gen-peers-file runs past port 65535 (lower -peers or raise -peers-per-socket)")
+		}
+		fmt.Fprintf(&b, "127.0.0.1:%d %d-%d\n", port, lo, hi)
+		port++
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s: %d peers over %d sockets\n", path, peers, port-basePort)
+	return nil
 }
 
 // runLive executes the same program on the goroutine-per-peer runtime and
@@ -209,7 +269,7 @@ func startReplanMonitor(fed *federation.Federation, driftThr float64) *federatio
 // every process runs decentralized Vivaldi: coordinates spread on probe
 // gossip and heartbeats, and the coordinator plans from the gossiped
 // embedding instead of its own probes.
-func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn, replan bool, driftThr float64) {
+func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn, replan bool, driftThr float64, probeRounds int) {
 	dir, err := netrt.LoadDirectory(peersFile)
 	if err != nil {
 		fatal(err)
@@ -255,9 +315,13 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 			med, pairs := rt.CoordError()
 			fmt.Printf("# vivaldi round %d: median |coord dist - measured| = %.3fms over %d pairs\n", round, med, pairs)
 		}
-	} else {
+	} else if probeRounds > 0 {
 		fmt.Printf("# coordinator hosting %d of %d peers; probing RTTs\n", len(local), len(dir))
-		rt.ProbeAll(5, 100*time.Millisecond)
+		rt.ProbeAll(probeRounds, 100*time.Millisecond)
+	} else {
+		// At scales where all-pairs probing is prohibitive the planner falls
+		// back to uniform default latencies (coordinator-local embedding).
+		fmt.Printf("# coordinator hosting %d of %d peers; probing skipped, planning from default latencies\n", len(local), len(dir))
 	}
 	fed, err := federation.NewRuntime(rt, prog, rng)
 	if err != nil {
@@ -285,9 +349,16 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	rt.Shutdown()
 	sent, delivered, dropped := rt.Stats()
 	fs := rt.FragStats()
+	ns := rt.NetStats()
 	fmt.Printf("# udp transport: sent=%d delivered=%d dropped=%d frag streams=%d frags=%d retrans=%d nacks=%d reassembled=%d epochs_retired=%d\n",
 		sent, delivered, dropped, fs.StreamsSent, fs.FragsSent, fs.Retransmits, fs.NacksSent, fs.Reassembled,
 		fed.Fab.Stats.EpochsRetired.Load())
+	fmt.Printf("# udp sockets: sockets=%d datagrams=%d trains=%d train_frames=%d\n",
+		ns.Sockets, ns.Datagrams, ns.Trains, ns.TrainFrames)
+	var ms goruntime.MemStats
+	goruntime.ReadMemStats(&ms)
+	fmt.Printf("# memstats: heap_alloc=%dKiB total_alloc=%dKiB mallocs=%d gc=%d\n",
+		ms.HeapAlloc>>10, ms.TotalAlloc>>10, ms.Mallocs, ms.NumGC)
 	if vivaldiOn {
 		med, pairs := rt.CoordError()
 		fmt.Printf("# vivaldi final: median |coord dist - measured| = %.3fms over %d pairs\n", med, pairs)

@@ -7,37 +7,96 @@ import (
 	"strings"
 )
 
-// LoadDirectory reads a peers file: one UDP host:port per line, line i
-// giving peer i's address. Blank lines and lines starting with # are
-// skipped. This is the -peers-file format mortard's multi-process mode
-// consumes; every process of a federation must read the same file.
+// LoadDirectory reads a peers file in either of two shapes:
+//
+//   - one UDP host:port per line, line order giving the peer index — many
+//     lines may share one address (those peers are multiplexed behind one
+//     socket);
+//   - ranged lines "host:port lo-hi" (or "host:port i") assigning an
+//     explicit peer range to one address, in any order, covering peers
+//     0..max contiguously.
+//
+// Blank lines and lines starting with # are skipped; the two shapes may
+// not be mixed in one file. Two ranged lines assigning one peer index to
+// different addresses conflict and reject the file — the peer's datagrams
+// would go to one socket while it listens on another. This is the
+// -peers-file format mortard's multi-process mode consumes; every process
+// of a federation must read the same file.
 func LoadDirectory(path string) ([]string, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var dir []string
-	seen := map[string]int{}
+	var dir []string           // plain shape: line order
+	byPeer := map[int]string{} // ranged shape: explicit indices
+	maxPeer := -1
 	for ln, line := range strings.Split(string(b), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		if !strings.Contains(line, ":") {
+		addr, rng, ranged := strings.Cut(line, " ")
+		addr = strings.TrimSpace(addr)
+		if !strings.Contains(addr, ":") {
 			return nil, fmt.Errorf("netrt: peers file %s line %d: %q is not host:port", path, ln+1, line)
 		}
-		// Two peers on one address would steal each other's datagrams (and
-		// the second bind fails anyway); reject the file outright.
-		if first, dup := seen[line]; dup {
-			return nil, fmt.Errorf("netrt: peers file %s line %d: address %q duplicates line %d", path, ln+1, line, first)
+		if !ranged {
+			if len(byPeer) > 0 {
+				return nil, fmt.Errorf("netrt: peers file %s line %d: plain line %q after ranged lines", path, ln+1, line)
+			}
+			dir = append(dir, addr)
+			continue
 		}
-		seen[line] = ln + 1
-		dir = append(dir, line)
+		if len(dir) > 0 {
+			return nil, fmt.Errorf("netrt: peers file %s line %d: ranged line %q after plain lines", path, ln+1, line)
+		}
+		lo, hi, err := parseRawRange(strings.TrimSpace(rng))
+		if err != nil {
+			return nil, fmt.Errorf("netrt: peers file %s line %d: %v", path, ln+1, err)
+		}
+		for p := lo; p <= hi; p++ {
+			if prev, ok := byPeer[p]; ok && prev != addr {
+				return nil, fmt.Errorf("netrt: peers file %s line %d: peer %d already mapped to %q", path, ln+1, p, prev)
+			}
+			byPeer[p] = addr
+			if p > maxPeer {
+				maxPeer = p
+			}
+		}
+	}
+	if len(byPeer) > 0 {
+		dir = make([]string, maxPeer+1)
+		for p := range dir {
+			a, ok := byPeer[p]
+			if !ok {
+				return nil, fmt.Errorf("netrt: peers file %s covers no peer %d (ranges must cover 0..%d)", path, p, maxPeer)
+			}
+			dir[p] = a
+		}
 	}
 	if len(dir) == 0 {
 		return nil, fmt.Errorf("netrt: peers file %s lists no peers", path)
 	}
 	return dir, nil
+}
+
+// parseRawRange parses "lo-hi" or "i" without an upper federation bound
+// (LoadDirectory discovers the federation size from the ranges).
+func parseRawRange(s string) (lo, hi int, err error) {
+	if a, b, ok := strings.Cut(s, "-"); ok {
+		var err1, err2 error
+		lo, err1 = strconv.Atoi(strings.TrimSpace(a))
+		hi, err2 = strconv.Atoi(strings.TrimSpace(b))
+		if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+			return 0, 0, fmt.Errorf("bad peer range %q", s)
+		}
+		return lo, hi, nil
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || v < 0 {
+		return 0, 0, fmt.Errorf("bad peer range %q", s)
+	}
+	return v, v, nil
 }
 
 // ParseRange parses a peer range "lo-hi" (inclusive) or a single index

@@ -1,9 +1,11 @@
 package netrt
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -371,112 +373,265 @@ func (fs *fragSender) lookup(stream uint64, to int) [][]byte {
 
 // --- pacing ---
 
-// packet is one datagram queued for a paced write.
+// packet is one frame queued for a paced write. buf, when non-nil, is the
+// pooled buffer backing b: the pacer takes ownership on submit and returns
+// it to the pool once the bytes are written, coalesced, or dropped.
+// Fragment datagrams travel with buf == nil because the retransmit buffer
+// retains them for NACK service. dst is the destination address-group id
+// used as the coalescing key; -1 means never coalesce.
 type packet struct {
-	b  []byte
-	to *net.UDPAddr
+	b   []byte
+	buf *wire.Buffer
+	to  netip.AddrPort
+	dst int
 }
 
-// pacer is one local peer's single socket writer: every outgoing datagram
-// — messages, fragments, probes, NACKs — is submitted to its queue and
-// written by one goroutine under a token bucket, so a multi-fragment
-// install drains at the configured rate instead of bursting into the first
-// full queue. Submission never blocks; a full queue drops the datagram
-// (the loss path NACK repair and reconciliation already handle). The
-// pacer also owns the simulated-loss roll, giving tests a precise
-// every-datagram loss point.
+// pendTrain is a coalesced datagram under construction for one remote
+// socket: the frameTrain kind byte followed by length-prefixed frames.
+type pendTrain struct {
+	buf    *wire.Buffer
+	to     netip.AddrPort
+	frames int
+}
+
+// pacerCounters are the runtime-owned counters a pacer feeds.
+type pacerCounters struct {
+	dropped     *atomic.Uint64
+	datagrams   *atomic.Uint64
+	trains      *atomic.Uint64
+	trainFrames *atomic.Uint64
+}
+
+// pacerOptions tunes one paced socket writer.
+type pacerOptions struct {
+	rate     float64 // bytes per second; 0 = unpaced
+	burst    float64
+	loss     float64
+	seed     int64
+	coalesce bool
+	delay    time.Duration // max time a frame waits in a pending train
+	mtu      int
+}
+
+// pacer is one shared socket's single writer: every outgoing frame of
+// every peer on the socket — messages, fragments, probes, NACKs — is
+// submitted to its queue and written by one goroutine under a token
+// bucket, so a multi-fragment install drains at the configured rate
+// instead of bursting into the first full queue. Submission never blocks;
+// a full queue drops the frame (the loss path NACK repair and
+// reconciliation already handle). The pacer also owns the simulated-loss
+// roll — rolled per frame before coalescing, giving tests a precise
+// every-frame loss point — and, when coalescing is on, batches small
+// frames bound for the same remote socket into one frameTrain datagram,
+// flushed when the train would exceed the MTU, when the delay timer
+// fires, or before a pass-through write to the same destination (so
+// per-destination ordering holds).
 //
-// Timestamps (transmit stamps, echo holds) are taken when a datagram is
-// built, so time spent queued here counts toward the RTT the far side
-// measures. That is deliberate: pacer queueing is genuine path delay, the
-// same congestion any real bottleneck adds, and the RTT EWMA smooths the
-// transient inflation a bulk transfer causes. Consumers wanting
-// uncongested floors should probe when idle (ProbeAll/Gossip already do).
+// Timestamps (transmit stamps, echo holds) are taken when a frame is
+// built, so time spent queued or pending here counts toward the RTT the
+// far side measures. That is deliberate: pacer queueing is genuine path
+// delay, the same congestion any real bottleneck adds, and the RTT EWMA
+// smooths the transient inflation a bulk transfer causes. Consumers
+// wanting uncongested floors should probe when idle (ProbeAll/Gossip
+// already do), ideally with coalescing off.
 type pacer struct {
-	conn    *net.UDPConn
-	rate    float64 // bytes per second; 0 = unpaced
-	burst   float64
-	loss    float64
-	rng     *rand.Rand // owned by the drain goroutine
-	ch      chan packet
-	done    chan struct{}
-	dropped *atomic.Uint64
+	conn *net.UDPConn
+	opt  pacerOptions
+	rng  *rand.Rand // owned by the drain goroutine
+	ch   chan packet
+	done chan struct{}
+	ct   pacerCounters
+
+	// Drain-goroutine state: the token bucket and the pending trains.
+	tokens  float64
+	last    time.Time
+	pending map[int]*pendTrain // by destination address-group id
+	live    int                // pending trains holding frames
+	timer   *time.Timer
+	timerC  <-chan time.Time // nil when coalescing is off
+	armed   bool
 }
 
-// pacerQueue bounds the datagrams queued behind a paced socket.
+// pacerQueue bounds the frames queued behind a paced socket.
 const pacerQueue = 8192
 
-func newPacer(conn *net.UDPConn, rate, burst float64, loss float64, seed int64, dropped *atomic.Uint64) *pacer {
-	return &pacer{
-		conn:    conn,
-		rate:    rate,
-		burst:   burst,
-		loss:    loss,
-		rng:     rand.New(rand.NewSource(seed)),
-		ch:      make(chan packet, pacerQueue),
-		done:    make(chan struct{}),
-		dropped: dropped,
+func newPacer(conn *net.UDPConn, opt pacerOptions, ct pacerCounters) *pacer {
+	p := &pacer{
+		conn: conn,
+		opt:  opt,
+		rng:  rand.New(rand.NewSource(opt.seed)),
+		ch:   make(chan packet, pacerQueue),
+		done: make(chan struct{}),
+		ct:   ct,
 	}
+	if opt.coalesce {
+		p.pending = map[int]*pendTrain{}
+		p.timer = time.NewTimer(time.Hour)
+		if !p.timer.Stop() {
+			<-p.timer.C
+		}
+		p.timerC = p.timer.C
+	}
+	return p
 }
 
-// submit queues one datagram; it reports false (and counts a drop) when
-// the queue is full.
-func (p *pacer) submit(b []byte, to *net.UDPAddr) bool {
+// submit queues one frame; it reports false (and counts a drop, releasing
+// the pooled buffer) when the queue is full.
+func (p *pacer) submit(b []byte, buf *wire.Buffer, to netip.AddrPort, dst int) bool {
 	select {
-	case p.ch <- packet{b: b, to: to}:
+	case p.ch <- packet{b: b, buf: buf, to: to, dst: dst}:
 		return true
 	default:
-		p.dropped.Add(1)
+		p.ct.dropped.Add(1)
+		wire.PutBuffer(buf)
 		return false
 	}
 }
 
-// loop drains the queue until the pacer is stopped. Token refill happens
-// lazily per packet; waits are sliced so shutdown is never held hostage by
-// a low rate.
+// loop drains the queue until the pacer is stopped.
 func (p *pacer) loop() {
-	tokens := p.burst
-	last := time.Now()
+	p.tokens = p.opt.burst
+	p.last = time.Now()
 	for {
 		select {
 		case <-p.done:
 			return
+		case <-p.timerC:
+			p.armed = false
+			p.flushAll()
 		case pkt := <-p.ch:
-			if p.loss > 0 && p.rng.Float64() < p.loss {
-				p.dropped.Add(1)
-				continue
-			}
-			if p.rate > 0 {
-				need := float64(len(pkt.b))
-				if need > p.burst {
-					need = p.burst // oversized datagrams cost at most one full bucket
-				}
-				for {
-					now := time.Now()
-					tokens += now.Sub(last).Seconds() * p.rate
-					last = now
-					if tokens > p.burst {
-						tokens = p.burst
-					}
-					if tokens >= need {
-						break
-					}
-					wait := time.Duration((need - tokens) / p.rate * float64(time.Second))
-					if wait > 10*time.Millisecond {
-						wait = 10 * time.Millisecond
-					}
-					select {
-					case <-p.done:
-						return
-					case <-time.After(wait):
-					}
-				}
-				tokens -= need
-			}
-			_, _ = p.conn.WriteToUDP(pkt.b, pkt.to)
+			p.handle(pkt)
 		}
 	}
 }
 
-// stop ends the drain goroutine; queued datagrams are abandoned.
+// handle disposes of one submitted frame: loss roll, then either append it
+// to the destination's pending train or write it through.
+func (p *pacer) handle(pkt packet) {
+	if p.opt.loss > 0 && p.rng.Float64() < p.opt.loss {
+		p.ct.dropped.Add(1)
+		wire.PutBuffer(pkt.buf)
+		return
+	}
+	if p.pending != nil && pkt.dst >= 0 && 1+trainItem(len(pkt.b)) <= p.opt.mtu {
+		p.appendTrain(pkt)
+		return
+	}
+	// Pass-through: flush any train pending for the same destination first
+	// so frames to one remote socket are written in submission order.
+	if p.pending != nil {
+		if t := p.pending[pkt.dst]; t != nil && t.frames > 0 {
+			p.flushTrain(t)
+		}
+	}
+	p.write(pkt.b, pkt.to)
+	wire.PutBuffer(pkt.buf)
+}
+
+// appendTrain adds a frame to its destination's pending train, flushing
+// the train first when the frame would push it past the MTU.
+func (p *pacer) appendTrain(pkt packet) {
+	t := p.pending[pkt.dst]
+	if t == nil {
+		t = &pendTrain{} // one map entry per destination, reused forever
+		p.pending[pkt.dst] = t
+	}
+	if t.frames > 0 && t.buf.Len()+trainItem(len(pkt.b)) > p.opt.mtu {
+		p.flushTrain(t)
+	}
+	if t.frames == 0 {
+		t.buf = wire.GetBuffer()
+		t.buf.PutByte(frameTrain)
+		t.to = pkt.to
+		p.live++
+		if !p.armed {
+			p.timer.Reset(p.opt.delay)
+			p.armed = true
+		}
+	}
+	t.buf.PutBytes(pkt.b)
+	t.frames++
+	wire.PutBuffer(pkt.buf)
+}
+
+// flushAll writes out every pending train (the delay timer fired).
+func (p *pacer) flushAll() {
+	if p.live == 0 {
+		return
+	}
+	for _, t := range p.pending {
+		if t.frames > 0 {
+			p.flushTrain(t)
+		}
+	}
+}
+
+// flushTrain writes one pending train. A train holding a single frame is
+// unwrapped to the bare frame — the train framing would cost bytes and a
+// decode step for nothing.
+func (p *pacer) flushTrain(t *pendTrain) {
+	b := t.buf.Bytes()
+	if t.frames == 1 {
+		_, l := binary.Uvarint(b[1:])
+		p.write(b[1+l:], t.to)
+	} else {
+		p.write(b, t.to)
+		p.ct.trains.Add(1)
+		p.ct.trainFrames.Add(uint64(t.frames))
+	}
+	wire.PutBuffer(t.buf)
+	t.buf, t.to, t.frames = nil, netip.AddrPort{}, 0
+	p.live--
+}
+
+// trainItem is the train-datagram cost of an n-byte frame: the frame plus
+// its uvarint length prefix.
+func trainItem(n int) int {
+	l := 1
+	for v := uint64(n); v >= 0x80; v >>= 7 {
+		l++
+	}
+	return n + l
+}
+
+// write performs the token-bucket wait and the socket write. Token refill
+// happens lazily per datagram; waits are sliced so shutdown is never held
+// hostage by a low rate.
+func (p *pacer) write(b []byte, to netip.AddrPort) {
+	if p.opt.rate > 0 {
+		need := float64(len(b))
+		if need > p.opt.burst {
+			need = p.opt.burst // oversized datagrams cost at most one full bucket
+		}
+		for {
+			now := time.Now()
+			p.tokens += now.Sub(p.last).Seconds() * p.opt.rate
+			p.last = now
+			if p.tokens > p.opt.burst {
+				p.tokens = p.opt.burst
+			}
+			if p.tokens >= need {
+				break
+			}
+			wait := time.Duration((need - p.tokens) / p.opt.rate * float64(time.Second))
+			if wait > 10*time.Millisecond {
+				wait = 10 * time.Millisecond
+			}
+			select {
+			case <-p.done:
+				return
+			case <-time.After(wait):
+			}
+		}
+		p.tokens -= need
+	}
+	// WriteToUDPAddrPort is the allocation-free datagram send — WriteToUDP's
+	// sockaddr conversion allocates per call, which the 0 allocs/op send
+	// path cannot afford.
+	_, _ = p.conn.WriteToUDPAddrPort(b, to)
+	p.ct.datagrams.Add(1)
+}
+
+// stop ends the drain goroutine; queued frames and pending trains are
+// abandoned.
 func (p *pacer) stop() { close(p.done) }

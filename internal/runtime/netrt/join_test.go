@@ -21,8 +21,8 @@ func writePeers(t *testing.T, content string) string {
 }
 
 // The peers file is the one artifact every process of a federation must
-// agree on; malformed lines and duplicate addresses must be rejected
-// loudly, not bound into a half-working directory.
+// agree on; malformed lines and genuinely conflicting entries must be
+// rejected loudly, not bound into a half-working directory.
 func TestLoadDirectoryFailurePaths(t *testing.T) {
 	if _, err := netrt.LoadDirectory(filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Fatal("missing peers file accepted")
@@ -34,13 +34,59 @@ func TestLoadDirectoryFailurePaths(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "line 2") {
 		t.Fatalf("malformed line error = %v", err)
 	}
-	_, err = netrt.LoadDirectory(writePeers(t, "127.0.0.1:9000\n127.0.0.1:9001\n127.0.0.1:9000\n"))
-	if err == nil || !strings.Contains(err.Error(), "duplicates line 1") {
-		t.Fatalf("duplicate address error = %v", err)
+	// A ranged line conflicting with an earlier assignment (same peer,
+	// different address) is a real error: the peer's datagrams would go to
+	// one socket while it listens on another.
+	_, err = netrt.LoadDirectory(writePeers(t, "127.0.0.1:9000 0-3\n127.0.0.1:9001 3-5\n"))
+	if err == nil || !strings.Contains(err.Error(), "already mapped") {
+		t.Fatalf("conflicting range error = %v", err)
+	}
+	// Ranges must cover the index space contiguously from 0.
+	_, err = netrt.LoadDirectory(writePeers(t, "127.0.0.1:9000 0-1\n127.0.0.1:9001 3-4\n"))
+	if err == nil || !strings.Contains(err.Error(), "no peer 2") {
+		t.Fatalf("gap error = %v", err)
+	}
+	// The two shapes must not blend — a mixed file is ambiguous about
+	// which lines carry implicit indices.
+	_, err = netrt.LoadDirectory(writePeers(t, "127.0.0.1:9000 0-1\n127.0.0.1:9001\n"))
+	if err == nil {
+		t.Fatal("mixed plain/ranged file accepted")
 	}
 	dir, err := netrt.LoadDirectory(writePeers(t, "# federation\n127.0.0.1:9000\n\n127.0.0.1:9001\n"))
 	if err != nil || len(dir) != 2 {
 		t.Fatalf("valid file: dir=%v err=%v", dir, err)
+	}
+}
+
+// Many peers per address is the multiplexed layout, not an error — in both
+// the plain shape (repeated lines) and the ranged shape.
+func TestLoadDirectoryMultiplexedAddresses(t *testing.T) {
+	dir, err := netrt.LoadDirectory(writePeers(t, "127.0.0.1:9000\n127.0.0.1:9000\n127.0.0.1:9001\n127.0.0.1:9000\n"))
+	if err != nil {
+		t.Fatalf("plain multiplexed file rejected: %v", err)
+	}
+	want := []string{"127.0.0.1:9000", "127.0.0.1:9000", "127.0.0.1:9001", "127.0.0.1:9000"}
+	if len(dir) != len(want) {
+		t.Fatalf("dir = %v, want %v", dir, want)
+	}
+	for i := range want {
+		if dir[i] != want[i] {
+			t.Fatalf("dir[%d] = %q, want %q", i, dir[i], want[i])
+		}
+	}
+
+	dir, err = netrt.LoadDirectory(writePeers(t, "# ranged, out of order\n127.0.0.1:9001 4-5\n127.0.0.1:9000 0-3\n127.0.0.1:9001 4\n"))
+	if err != nil {
+		t.Fatalf("ranged file rejected: %v", err)
+	}
+	want = []string{"127.0.0.1:9000", "127.0.0.1:9000", "127.0.0.1:9000", "127.0.0.1:9000", "127.0.0.1:9001", "127.0.0.1:9001"}
+	if len(dir) != len(want) {
+		t.Fatalf("dir = %v, want %v", dir, want)
+	}
+	for i := range want {
+		if dir[i] != want[i] {
+			t.Fatalf("dir[%d] = %q, want %q", i, dir[i], want[i])
+		}
 	}
 }
 

@@ -2,14 +2,19 @@
 // peers crosses the wire as a real UDP datagram carrying the internal/wire
 // encoding, the way the paper's prototype exchanged UdpCC datagrams between
 // hosts. A netrt Runtime hosts a subset of the federation's peers (possibly
-// all of them); each local peer binds its own UDP socket from a shared
-// peer-index -> address directory, and several processes — or several
-// Runtimes in one process, for loopback tests — form one federation by
+// all of them); local peers bind UDP sockets from a shared peer-index ->
+// address directory — peers whose directory entries share one address are
+// multiplexed behind one socket — and several processes, or several
+// Runtimes in one process for loopback tests, form one federation by
 // agreeing on that directory.
 //
-// Per local peer the Runtime runs a receive goroutine (socket -> decode ->
-// mailbox) and a mailbox goroutine (the peer's serialization domain, shared
-// machinery with runtime/livert via runtime/actor). Datagrams carry a small
+// Per shared socket the Runtime runs one receive goroutine (socket ->
+// decode -> mailbox, demuxed on the destination index every frame carries)
+// and one paced writer; per local peer it runs a mailbox goroutine (the
+// peer's serialization domain, shared machinery with runtime/livert via
+// runtime/actor). With Options.Coalesce the writer batches small frames
+// bound for the same remote socket into one frameTrain datagram, so peer
+// density scales without a matching datagram storm. Datagrams carry a small
 // transport header ahead of the wire frame: sender/destination indices and
 // three timestamp fields implementing UdpCC-style passive RTT measurement —
 // each frame echoes the newest timestamp received from the destination plus
@@ -32,6 +37,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"net/netip"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -45,11 +51,12 @@ import (
 
 // Datagram framing: a one-byte frame kind ahead of the header fields.
 const (
-	frameMsg  = 1 // header + wire message frame
-	framePing = 2 // RTT probe
-	framePong = 3 // RTT probe reply
-	frameFrag = 4 // one fragment of a frame larger than the MTU
-	frameNack = 5 // retransmission request for missing fragments
+	frameMsg   = 1 // header + wire message frame
+	framePing  = 2 // RTT probe
+	framePong  = 3 // RTT probe reply
+	frameFrag  = 4 // one fragment of a frame larger than the MTU
+	frameNack  = 5 // retransmission request for missing fragments
+	frameTrain = 6 // coalesced train of small frames (wire.ForEachTrainFrame)
 )
 
 // maxDatagram is the absolute UDP payload ceiling; the configured MTU is
@@ -114,6 +121,21 @@ type Options struct {
 	// the peer's access-link latency (gossiped coordinates of the other
 	// shape are rejected — the models must not blend).
 	VivaldiHeight bool
+	// PeersPerSocket is how many local peers NewGroup multiplexes onto one
+	// UDP socket (demuxed on the destination index every frame carries).
+	// Default 1 — one socket per peer, the pre-multiplexing layout. New
+	// ignores it: there the directory decides which peers share an address.
+	PeersPerSocket int
+	// Coalesce batches small frames bound for the same remote socket into
+	// one frameTrain datagram, flushed by the pacer when the train reaches
+	// the MTU or after CoalesceDelay. A 1k-peer heartbeat round then costs
+	// hundreds of datagrams instead of hundreds of thousands. Off by
+	// default: the pending delay inflates measured RTTs by up to
+	// 2×CoalesceDelay, which latency-sensitive tests do not want.
+	Coalesce bool
+	// CoalesceDelay bounds how long a frame may wait in a pending train.
+	// Default 1ms.
+	CoalesceDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -150,11 +172,28 @@ func (o Options) withDefaults() Options {
 	if o.StaleAfter <= 0 {
 		o.StaleAfter = 3 * time.Second
 	}
+	if o.PeersPerSocket <= 0 {
+		o.PeersPerSocket = 1
+	}
+	if o.CoalesceDelay <= 0 {
+		o.CoalesceDelay = time.Millisecond
+	}
 	return o
 }
 
 // fragPayload is the fragment payload size the configured MTU leaves.
 func (o Options) fragPayload() int { return o.MTU - fragHeadroom }
+
+// lsock is one shared local socket hosting one or more local peers: a
+// single receive loop demuxes inbound frames on the destination index
+// every frame carries, and a single paced writer serializes the outbound
+// side. With Options.PeersPerSocket (or a ranged directory) a thousand
+// local peers need a handful of sockets, not a thousand.
+type lsock struct {
+	conn  *net.UDPConn
+	pacer *pacer
+	peers []int
+}
 
 // Runtime hosts a contiguous-or-not set of local peers over UDP sockets.
 // It implements runtime.Runtime, runtime.Transport, and runtime.Locality.
@@ -163,7 +202,7 @@ type Runtime struct {
 	local   []int
 	isLocal []bool
 	addrs   []*net.UDPAddr
-	conns   []*net.UDPConn   // nil for non-local peers
+	ports   []netip.AddrPort // addrs as AddrPort, the pacer's alloc-free write key
 	boxes   []*actor.Mailbox // nil for non-local peers
 	start   time.Time
 	opt     Options
@@ -177,12 +216,20 @@ type Runtime struct {
 	wg     sync.WaitGroup
 	done   chan struct{} // closed by Shutdown; stops pacers and the sweeper
 
-	// Per local peer: the paced single socket writer, the send-side
-	// fragment state (stream ids + retransmit buffer), and the bounded
-	// reassembler. All nil for non-local peers.
-	pacers []*pacer
-	frags  []*fragSender
-	reasm  []*Reassembler
+	// The shared local sockets, each with its receive loop and paced
+	// writer; sockOf maps a local peer to its socket (-1 for non-local
+	// peers), addrID maps every peer to its address group — the coalescing
+	// destination key, shared by peers multiplexed behind one remote
+	// socket.
+	socks  []*lsock
+	sockOf []int
+	addrID []int
+
+	// Per local peer: the send-side fragment state (stream ids +
+	// retransmit buffer) and the bounded reassembler. All nil for
+	// non-local peers.
+	frags []*fragSender
+	reasm []*Reassembler
 
 	// Fragmentation counters (see FragStats).
 	fragStreams, fragsSent, retransmits, nacksSent atomic.Uint64
@@ -210,6 +257,10 @@ type Runtime struct {
 	pairDelay atomic.Pointer[func(from, to int) time.Duration]
 
 	sent, delivered, dropped atomic.Uint64
+
+	// Datagram-level counters (see NetStats): datagrams actually written,
+	// coalesced trains among them, and the frames those trains carried.
+	datagrams, trains, trainFrames atomic.Uint64
 }
 
 // echoState remembers the latest remote transmit stamp and when it
@@ -223,10 +274,15 @@ var _ runtime.Runtime = (*Runtime)(nil)
 var _ runtime.Transport = (*Runtime)(nil)
 var _ runtime.Locality = (*Runtime)(nil)
 
-// New binds a UDP socket for every local peer at its directory address and
-// starts the receive and mailbox goroutines. directory[i] is peer i's UDP
-// host:port; local lists the peer indices this process hosts. The caller
-// owns shutting the runtime down.
+// New binds the UDP sockets the directory asks for and starts the receive
+// and mailbox goroutines. directory[i] is peer i's UDP host:port; peers
+// sharing one host:port are multiplexed behind one socket (the ranged
+// directory format LoadDirectory parses produces exactly that), except
+// that every :0 entry always gets its own ephemerally-bound socket. local
+// lists the peer indices this process hosts; an address may not mix local
+// and non-local peers — the remote half's frames would land on this
+// process's socket and be dropped. The caller owns shutting the runtime
+// down.
 func New(directory []string, local []int, opt Options) (*Runtime, error) {
 	addrs := make([]*net.UDPAddr, len(directory))
 	for i, d := range directory {
@@ -236,28 +292,57 @@ func New(directory []string, local []int, opt Options) (*Runtime, error) {
 		}
 		addrs[i] = a
 	}
+	isLocal := make([]bool, len(directory))
 	conns := make([]*net.UDPConn, len(directory))
+	fail := func(err error) (*Runtime, error) {
+		closed := map[*net.UDPConn]bool{}
+		for _, c := range conns {
+			if c != nil && !closed[c] {
+				closed[c] = true
+				c.Close()
+			}
+		}
+		return nil, err
+	}
+	byAddr := map[string]*net.UDPConn{}
 	for _, p := range local {
 		if p < 0 || p >= len(directory) {
-			return nil, fmt.Errorf("netrt: local peer %d outside directory of %d", p, len(directory))
+			return fail(fmt.Errorf("netrt: local peer %d outside directory of %d", p, len(directory)))
+		}
+		isLocal[p] = true
+		ephemeral := addrs[p].Port == 0
+		key := addrs[p].String()
+		if !ephemeral {
+			if c, ok := byAddr[key]; ok {
+				conns[p] = c
+				addrs[p] = c.LocalAddr().(*net.UDPAddr)
+				continue
+			}
 		}
 		c, err := net.ListenUDP("udp", addrs[p])
 		if err != nil {
-			for _, cc := range conns {
-				if cc != nil {
-					cc.Close()
-				}
-			}
-			return nil, fmt.Errorf("netrt: bind peer %d: %w", p, err)
+			return fail(fmt.Errorf("netrt: bind peer %d: %w", p, err))
 		}
 		conns[p] = c
+		if !ephemeral {
+			byAddr[key] = c
+		}
 		// The socket may have been bound to :0; record the actual address.
 		addrs[p] = c.LocalAddr().(*net.UDPAddr)
+	}
+	for q := range directory {
+		if !isLocal[q] && byAddr[addrs[q].String()] != nil {
+			return fail(fmt.Errorf("netrt: address %q hosts local peers but peer %d is not local", addrs[q], q))
+		}
 	}
 	return assemble(addrs, local, conns, opt), nil
 }
 
 // assemble wires an already-bound socket set into a running Runtime.
+// conns is indexed by peer; local peers sharing a socket hold the same
+// *net.UDPConn, and assemble groups them into one lsock with one receive
+// loop and one paced writer (rate and burst scaled by the peer count, so
+// a shared socket is not throttled below what its peers had separately).
 func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Options) *Runtime {
 	opt = opt.withDefaults()
 	n := len(addrs)
@@ -266,7 +351,6 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		local:      append([]int(nil), local...),
 		isLocal:    make([]bool, n),
 		addrs:      addrs,
-		conns:      conns,
 		boxes:      make([]*actor.Mailbox, n),
 		start:      time.Now(),
 		opt:        opt,
@@ -274,7 +358,8 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		hands:      make([]runtime.Handler, n),
 		down:       make([]atomic.Bool, n),
 		done:       make(chan struct{}),
-		pacers:     make([]*pacer, n),
+		sockOf:     make([]int, n),
+		addrID:     make([]int, n),
 		frags:      make([]*fragSender, n),
 		reasm:      make([]*Reassembler, n),
 		peerMu:     make([]sync.Mutex, n),
@@ -290,21 +375,40 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		pd := opt.PairDelay
 		r.pairDelay.Store(&pd)
 	}
-	burst := float64(64 << 10)
-	if b := float64(4 * opt.MTU); b > burst {
-		burst = b
+	// Address groups: peers sharing a remote socket share a coalescing
+	// destination.
+	groups := map[string]int{}
+	r.ports = make([]netip.AddrPort, n)
+	for p, a := range addrs {
+		key := a.String()
+		id, ok := groups[key]
+		if !ok {
+			id = len(groups)
+			groups[key] = id
+		}
+		r.addrID[p] = id
+		ap := a.AddrPort()
+		r.ports[p] = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
 	}
+	for i := range r.sockOf {
+		r.sockOf[i] = -1
+	}
+	sockIdx := map[*net.UDPConn]int{}
 	for _, p := range local {
 		r.isLocal[p] = true
+		si, ok := sockIdx[conns[p]]
+		if !ok {
+			si = len(r.socks)
+			sockIdx[conns[p]] = si
+			r.socks = append(r.socks, &lsock{conn: conns[p]})
+		}
+		r.sockOf[p] = si
+		r.socks[si].peers = append(r.socks[si].peers, p)
+
 		r.echo[p] = make(map[int]echoState)
 		r.rtt[p] = make(map[int]time.Duration)
 		r.nodes[p] = vivaldi.NewNode(r.vcfg,
 			rand.New(rand.NewSource(opt.Seed*7919+int64(p)+1)))
-		if opt.ReadBuffer > 0 {
-			_ = conns[p].SetReadBuffer(opt.ReadBuffer)
-		}
-		r.pacers[p] = newPacer(conns[p], float64(opt.Pace), burst, opt.Loss,
-			opt.Seed*104729+int64(p)+1, &r.dropped)
 		r.frags[p] = newFragSender(opt.RetransmitBuffer)
 		r.reasm[p] = NewReassembler(ReasmOptions{
 			MaxMessage:     opt.MaxMessage,
@@ -313,22 +417,74 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 			MaxNackIndices: (opt.MTU - 32) / 5, // one NACK must fit one datagram
 		})
 		r.boxes[p] = actor.NewMailbox()
-		r.wg.Add(3)
+		r.wg.Add(1)
 		go func(box *actor.Mailbox) {
 			defer r.wg.Done()
 			box.Loop()
 		}(r.boxes[p])
-		go r.recvLoop(p)
+	}
+	baseBurst := float64(64 << 10)
+	if b := float64(4 * opt.MTU); b > baseBurst {
+		baseBurst = b
+	}
+	ct := pacerCounters{
+		dropped:     &r.dropped,
+		datagrams:   &r.datagrams,
+		trains:      &r.trains,
+		trainFrames: &r.trainFrames,
+	}
+	for si, s := range r.socks {
+		if opt.ReadBuffer > 0 {
+			_ = s.conn.SetReadBuffer(opt.ReadBuffer)
+		}
+		k := float64(len(s.peers))
+		burst := baseBurst * k
+		if burst > 16<<20 {
+			burst = 16 << 20
+		}
+		s.pacer = newPacer(s.conn, pacerOptions{
+			rate:     float64(opt.Pace) * k,
+			burst:    burst,
+			loss:     opt.Loss,
+			seed:     opt.Seed*104729 + int64(si) + 1,
+			coalesce: opt.Coalesce,
+			delay:    opt.CoalesceDelay,
+			mtu:      opt.MTU,
+		}, ct)
+		r.wg.Add(2)
+		go r.recvLoop(s)
 		go func(pc *pacer) {
 			defer r.wg.Done()
 			pc.loop()
-		}(r.pacers[p])
+		}(s.pacer)
 	}
 	if len(local) > 0 {
 		r.wg.Add(1)
 		go r.sweepLoop()
 	}
 	return r
+}
+
+// NetStats is the datagram-level view of the transport: how many
+// datagrams actually hit the wire, how many were coalesced trains, how
+// many frames those trains carried, and how many sockets host the local
+// peers. With coalescing effective, Datagrams is well below the frame
+// count (sent + probes + NACKs).
+type NetStats struct {
+	Datagrams   uint64
+	Trains      uint64
+	TrainFrames uint64
+	Sockets     int
+}
+
+// NetStats returns the datagram-level counters.
+func (r *Runtime) NetStats() NetStats {
+	return NetStats{
+		Datagrams:   r.datagrams.Load(),
+		Trains:      r.trains.Load(),
+		TrainFrames: r.trainFrames.Load(),
+		Sockets:     len(r.socks),
+	}
 }
 
 // SetPairDelay swaps the synthetic latency topology at run time. The
@@ -344,27 +500,29 @@ func (r *Runtime) SetPairDelay(f func(from, to int) time.Duration) {
 	r.pairDelay.Store(&f)
 }
 
-// xmit submits one outgoing datagram to the sending peer's paced writer,
+// xmit submits one outgoing frame to the sending peer's paced writer,
 // first holding it for the synthetic pair delay when a topology is
-// configured. c1/c2 (either may be nil) increment only when the datagram
-// is accepted by the pacer, exactly as direct submission would. The
-// common no-delay path stays closure- and allocation-free — this sits
-// under every heartbeat, fragment, probe, and NACK.
-func (r *Runtime) xmit(from, to int, b []byte, c1, c2 *atomic.Uint64) {
+// configured. buf, when non-nil, is the pooled buffer backing b — the
+// pacer takes ownership of it whether or not the frame is accepted.
+// c1/c2 (either may be nil) increment only when the frame is accepted by
+// the pacer, exactly as direct submission would. The common no-delay path
+// stays closure- and allocation-free — this sits under every heartbeat,
+// fragment, probe, and NACK.
+func (r *Runtime) xmit(from, to int, b []byte, buf *wire.Buffer, c1, c2 *atomic.Uint64) {
 	if pd := r.pairDelay.Load(); pd != nil {
 		if d := (*pd)(from, to); d > 0 {
 			// A held datagram that outlives Shutdown lands in a stopped
 			// pacer's queue and is never written — dropped like any other
 			// in-flight packet at process death.
-			time.AfterFunc(d, func() { r.xmitNow(from, to, b, c1, c2) })
+			time.AfterFunc(d, func() { r.xmitNow(from, to, b, buf, c1, c2) })
 			return
 		}
 	}
-	r.xmitNow(from, to, b, c1, c2)
+	r.xmitNow(from, to, b, buf, c1, c2)
 }
 
-func (r *Runtime) xmitNow(from, to int, b []byte, c1, c2 *atomic.Uint64) {
-	if r.pacers[from].submit(b, r.addrs[to]) {
+func (r *Runtime) xmitNow(from, to int, b []byte, buf *wire.Buffer, c1, c2 *atomic.Uint64) {
+	if r.socks[r.sockOf[from]].pacer.submit(b, buf, r.ports[to], r.addrID[to]) {
 		if c1 != nil {
 			c1.Add(1)
 		}
@@ -400,20 +558,22 @@ func (r *Runtime) sendNack(from int, req NackRequest) {
 	if req.Src < 0 || req.Src >= r.n || r.down[from].Load() || r.down[req.Src].Load() {
 		return
 	}
-	var w wire.Buffer
+	w := wire.GetBuffer()
 	w.PutByte(frameNack)
 	w.PutUvarint(uint64(from))
 	w.PutUvarint(uint64(req.Src))
-	wire.EncodeNack(&w, wire.Nack{Stream: req.Stream, Missing: req.Missing})
-	r.xmit(from, req.Src, w.Bytes(), &r.nacksSent, nil)
+	wire.EncodeNack(w, wire.Nack{Stream: req.Stream, Missing: req.Missing})
+	r.xmit(from, req.Src, w.Bytes(), w, &r.nacksSent, nil)
 }
 
 // NewGroup builds one federation of several Runtimes inside a single
 // process, each hosting one peer range, with every socket bound to an
 // ephemeral loopback port. This is the in-process stand-in for a
 // multi-process deployment — messages still cross the kernel's UDP stack —
-// used by the loopback tests and available to experiments. The returned
-// directory lists the bound addresses.
+// used by the loopback tests and available to experiments.
+// Options.PeersPerSocket multiplexes that many consecutive peers of each
+// range behind one socket. The returned directory lists the bound
+// addresses.
 func NewGroup(ranges [][]int, opt Options) ([]*Runtime, []string, error) {
 	n := 0
 	owner := map[int]int{}
@@ -431,23 +591,36 @@ func NewGroup(ranges [][]int, opt Options) ([]*Runtime, []string, error) {
 			return nil, nil, fmt.Errorf("netrt: ranges do not cover peer %d", p)
 		}
 	}
+	perSock := opt.PeersPerSocket
+	if perSock <= 0 {
+		perSock = 1
+	}
 	addrs := make([]*net.UDPAddr, n)
 	conns := make([]*net.UDPConn, n)
 	fail := func(err error) ([]*Runtime, []string, error) {
+		closed := map[*net.UDPConn]bool{}
 		for _, c := range conns {
-			if c != nil {
+			if c != nil && !closed[c] {
+				closed[c] = true
 				c.Close()
 			}
 		}
 		return nil, nil, err
 	}
-	for p := 0; p < n; p++ {
-		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
-		if err != nil {
-			return fail(fmt.Errorf("netrt: bind peer %d: %w", p, err))
+	for _, g := range ranges {
+		for i, p := range g {
+			if i%perSock == 0 {
+				c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0})
+				if err != nil {
+					return fail(fmt.Errorf("netrt: bind peer %d: %w", p, err))
+				}
+				conns[p] = c
+				addrs[p] = c.LocalAddr().(*net.UDPAddr)
+				continue
+			}
+			conns[p] = conns[g[i-i%perSock]]
+			addrs[p] = addrs[g[i-i%perSock]]
 		}
-		conns[p] = c
-		addrs[p] = c.LocalAddr().(*net.UDPAddr)
 	}
 	directory := make([]string, n)
 	for p, a := range addrs {
@@ -521,9 +694,9 @@ func (r *Runtime) Shutdown() {
 		return
 	}
 	close(r.done)
-	for _, p := range r.local {
-		r.pacers[p].stop()
-		r.conns[p].Close()
+	for _, s := range r.socks {
+		s.pacer.stop()
+		s.conn.Close()
 	}
 	for _, p := range r.local {
 		r.boxes[p].Close()
@@ -606,24 +779,9 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 	if r.closed.Load() || r.down[from].Load() || r.down[to].Load() {
 		return false
 	}
-	var body []byte
-	switch p := payload.(type) {
-	case *runtime.Frame:
-		body = p.Bytes
-	default:
-		var w wire.Buffer
-		if err := wire.EncodeMessage(&w, payload); err != nil {
-			r.dropped.Add(1)
-			return false
-		}
-		body = w.Bytes()
-	}
-	if len(body) > r.opt.MaxMessage {
-		r.dropped.Add(1)
-		return false
-	}
-
-	var w wire.Buffer
+	// One pooled buffer carries header and body; the common in-MTU path
+	// hands it to the pacer without a single heap allocation.
+	w := wire.GetBuffer()
 	w.PutByte(frameMsg)
 	w.PutUvarint(uint64(from))
 	w.PutUvarint(uint64(to))
@@ -632,12 +790,32 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 	w.PutVarint(echoStamp)
 	w.PutVarint(hold)
 	w.PutByte(byte(class))
-	w.PutRaw(body)
+	head := w.Len()
+	switch p := payload.(type) {
+	case *runtime.Frame:
+		// The Frame's Bytes go on the wire unchanged — the message was
+		// encoded exactly once by the fabric.
+		w.PutRaw(p.Bytes)
+	default:
+		if err := wire.EncodeMessage(w, payload); err != nil {
+			wire.PutBuffer(w)
+			r.dropped.Add(1)
+			return false
+		}
+	}
+	if w.Len()-head > r.opt.MaxMessage {
+		wire.PutBuffer(w)
+		r.dropped.Add(1)
+		return false
+	}
 	if w.Len() <= r.opt.MTU {
-		r.xmit(from, to, w.Bytes(), &r.sent, nil)
+		r.xmit(from, to, w.Bytes(), w, &r.sent, nil)
 		return true
 	}
-	r.sendFragmented(from, to, body)
+	// The fragment datagrams embed copies of the body, so the frame buffer
+	// can go back to the pool as soon as the split is done.
+	r.sendFragmented(from, to, w.Bytes()[head:])
+	wire.PutBuffer(w)
 	return true
 }
 
@@ -659,9 +837,11 @@ func (r *Runtime) sendFragmented(from, to int, body []byte) {
 	}
 	// The datagrams embed copies of body's chunks (wire.Buffer appends), so
 	// the retransmit buffer holds them safely past the caller's frame.
+	// Because that buffer retains them indefinitely for NACK service, they
+	// are built in plain (unpooled) buffers and travel with buf == nil.
 	fs.register(stream, to, dgrams)
 	for _, d := range dgrams {
-		r.xmit(from, to, d, &r.sent, &r.fragsSent)
+		r.xmit(from, to, d, nil, &r.sent, &r.fragsSent)
 	}
 	r.fragStreams.Add(1)
 	for {
@@ -769,24 +949,47 @@ func (r *Runtime) noteCoord(peer int, c vivaldi.Coordinate, errEst float64) {
 	r.coordMu.Unlock()
 }
 
-// recvLoop reads datagrams for one local peer until its socket closes.
-func (r *Runtime) recvLoop(peer int) {
+// recvLoop reads datagrams for one shared socket until it closes,
+// demuxing each frame to its destination peer. The read buffer comes from
+// the shared pool and is sized from the MTU — datagrams never exceed it
+// (over-MTU frames travel fragmented) — so a thousand sockets do not pin
+// 64 KiB each. The loop owns the buffer for its lifetime; nothing
+// downstream retains it (decoders copy what they keep).
+func (r *Runtime) recvLoop(s *lsock) {
 	defer r.wg.Done()
-	buf := make([]byte, 1<<16)
-	conn := r.conns[peer]
+	size := r.opt.MTU + 512
+	if size < 2048 {
+		size = 2048
+	}
+	pb := wire.GetBuffer()
+	defer wire.PutBuffer(pb)
+	buf := pb.Reserve(size)
 	for {
-		n, _, err := conn.ReadFromUDP(buf)
+		n, _, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
 			return // socket closed by Shutdown
 		}
-		r.handleFrame(peer, buf[:n])
+		r.handleDatagram(buf[:n])
 	}
 }
 
-// handleFrame parses one datagram addressed to a local peer. Decoding runs
-// on the receive goroutine; only the decoded message enters the mailbox,
-// so nothing retains the read buffer.
-func (r *Runtime) handleFrame(peer int, b []byte) {
+// handleDatagram unpacks one datagram: a coalesced train is walked frame
+// by frame, anything else is a single frame.
+func (r *Runtime) handleDatagram(b []byte) {
+	if len(b) > 0 && b[0] == frameTrain {
+		if err := wire.ForEachTrainFrame(b[1:], r.handleFrame); err != nil {
+			r.dropped.Add(1)
+		}
+		return
+	}
+	r.handleFrame(b)
+}
+
+// handleFrame parses one frame, accepting it for whichever local peer it
+// addresses — frames for every peer multiplexed behind a socket arrive on
+// that one socket. Decoding runs on the receive goroutine; only the
+// decoded message enters the mailbox, so nothing retains the read buffer.
+func (r *Runtime) handleFrame(b []byte) {
 	rd := wire.NewReader(b)
 	kind, err := rd.Byte()
 	if err != nil {
@@ -797,9 +1000,10 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		return
 	}
 	dstU, err := rd.Uvarint()
-	if err != nil || int(dstU) != peer {
+	if err != nil || dstU >= uint64(r.n) || !r.isLocal[dstU] {
 		return // misrouted or stale directory entry
 	}
+	peer := int(dstU)
 	src := int(srcU)
 	now := time.Since(r.start)
 
@@ -812,14 +1016,14 @@ func (r *Runtime) handleFrame(peer int, b []byte) {
 		if c, e, ok := r.readCoord(rd); ok {
 			r.noteCoord(src, c, e)
 		}
-		var w wire.Buffer
+		w := wire.GetBuffer()
 		w.PutByte(framePong)
 		w.PutUvarint(uint64(peer))
 		w.PutUvarint(srcU)
 		w.PutVarint(stamp)
 		w.PutVarint(0) // replied immediately: no hold
-		putCoord(&w, r.nodes[peer])
-		r.xmit(peer, src, w.Bytes(), nil, nil)
+		putCoord(w, r.nodes[peer])
+		r.xmit(peer, src, w.Bytes(), w, nil, nil)
 
 	case framePong:
 		stamp, err := rd.Varint()
@@ -948,7 +1152,8 @@ func (r *Runtime) resendFragments(peer, src int, n wire.Nack) {
 		if int(idx) >= len(dgrams) {
 			continue
 		}
-		r.xmit(peer, src, dgrams[idx], &r.retransmits, nil)
+		// Retransmit buffer keeps owning the datagram: buf stays nil.
+		r.xmit(peer, src, dgrams[idx], nil, &r.retransmits, nil)
 	}
 }
 
@@ -966,13 +1171,13 @@ func stampNow(start time.Time) int64 {
 // sendPing writes one RTT probe from a local peer, carrying its Vivaldi
 // coordinate.
 func (r *Runtime) sendPing(from, to int) {
-	var w wire.Buffer
+	w := wire.GetBuffer()
 	w.PutByte(framePing)
 	w.PutUvarint(uint64(from))
 	w.PutUvarint(uint64(to))
 	w.PutVarint(stampNow(r.start))
-	putCoord(&w, r.nodes[from])
-	r.xmit(from, to, w.Bytes(), nil, nil)
+	putCoord(w, r.nodes[from])
+	r.xmit(from, to, w.Bytes(), w, nil, nil)
 }
 
 // putCoord appends a coordinate extension to a probe frame (the same

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -88,6 +89,137 @@ func TestLoopbackSendReceive(t *testing.T) {
 	mu.Unlock()
 	if !ok || got2.S.Query != "q" || got2.S.Value.(float64) != 3 {
 		t.Fatalf("envelope arrived as %#v", got[1])
+	}
+}
+
+// With PeersPerSocket several local peers share one socket; frames must
+// still demux to the peer they address, in both directions, within a
+// socket and across sockets.
+func TestSharedSocketMultiplexedDelivery(t *testing.T) {
+	rts, _, err := netrt.NewGroup([][]int{{0, 1}, {2, 3}}, netrt.Options{Seed: 5, PeersPerSocket: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rts[0].Shutdown()
+	defer rts[1].Shutdown()
+	for _, rt := range rts {
+		if st := rt.NetStats(); st.Sockets != 1 {
+			t.Fatalf("expected 1 shared socket for 2 peers, got %d", st.Sockets)
+		}
+	}
+	var mu sync.Mutex
+	got := map[int][]int{} // dst -> srcs seen
+	for _, rt := range rts {
+		for _, p := range rt.LocalPeers() {
+			p := p
+			rt.Handle(p, func(from int, payload any, size int) {
+				mu.Lock()
+				got[p] = append(got[p], from)
+				mu.Unlock()
+			})
+		}
+	}
+	// Same socket (0->1), across runtimes to both peers of one socket
+	// (0->2, 1->3), and back (3->0).
+	sends := [][2]int{{0, 1}, {0, 2}, {1, 3}, {3, 0}}
+	for i, s := range sends {
+		from, to := s[0], s[1]
+		rt := rts[0]
+		if from >= 2 {
+			rt = rts[1]
+		}
+		if !rt.Send(from, to, runtime.ClassControl, 0, wire.Heartbeat{Seq: uint64(i + 1)}) {
+			t.Fatalf("send %d->%d refused", from, to)
+		}
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		n := 0
+		for _, srcs := range got {
+			n += len(srcs)
+		}
+		return n == len(sends)
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for _, s := range sends {
+		found := false
+		for _, src := range got[s[1]] {
+			if src == s[0] {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("frame %d->%d not delivered to its peer: got %v", s[0], s[1], got)
+		}
+	}
+}
+
+// With Coalesce on, a burst of small frames to one remote socket must
+// travel in far fewer datagrams than frames — the train layer working —
+// while every frame still arrives.
+func TestCoalescedSmallFramesShareDatagrams(t *testing.T) {
+	rts, _, err := netrt.NewGroup([][]int{{0, 1}}, netrt.Options{Seed: 9, PeersPerSocket: 2, Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := rts[0]
+	defer rt.Shutdown()
+	const frames = 200
+	var delivered atomic.Uint64
+	rt.Handle(1, func(from int, payload any, size int) { delivered.Add(1) })
+	for i := 0; i < frames; i++ {
+		if !rt.Send(0, 1, runtime.ClassControl, 0, wire.Heartbeat{Seq: uint64(i + 1)}) {
+			t.Fatalf("send %d refused", i)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool { return delivered.Load() == frames })
+	st := rt.NetStats()
+	if st.Trains == 0 {
+		t.Fatal("no coalesced trains were written")
+	}
+	if st.TrainFrames <= st.Trains {
+		t.Fatalf("trains carried no extra frames: %+v", st)
+	}
+	if st.Datagrams >= frames {
+		t.Fatalf("coalescing did not reduce datagrams: %d datagrams for %d frames", st.Datagrams, frames)
+	}
+}
+
+// New must multiplex peers whose directory entries share an address onto
+// one socket, and must reject a directory where an address mixes local
+// and non-local peers.
+func TestNewSharedAddressDirectory(t *testing.T) {
+	reserve := func() string {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := c.LocalAddr().String()
+		c.Close()
+		return addr
+	}
+	a, b := reserve(), reserve()
+	dir := []string{a, a, b, b}
+	rt, err := netrt.New(dir, []int{0, 1, 2, 3}, netrt.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if st := rt.NetStats(); st.Sockets != 2 {
+		t.Fatalf("4 peers on 2 addresses bound %d sockets", st.Sockets)
+	}
+	var gotFrom atomic.Int64
+	gotFrom.Store(-1)
+	rt.Handle(3, func(from int, payload any, size int) { gotFrom.Store(int64(from)) })
+	if !rt.Send(0, 3, runtime.ClassControl, 0, wire.Heartbeat{Seq: 1}) {
+		t.Fatal("send refused")
+	}
+	waitFor(t, 5*time.Second, func() bool { return gotFrom.Load() == 0 })
+
+	if _, err := netrt.New([]string{a, a}, []int{0}, netrt.Options{Seed: 12}); err == nil {
+		t.Fatal("address mixing local and non-local peers accepted")
 	}
 }
 
@@ -252,6 +384,137 @@ func TestNetFederationMatchesLive(t *testing.T) {
 
 	if netBest != liveBest {
 		t.Fatalf("netrt completeness %d != livert completeness %d", netBest, liveBest)
+	}
+}
+
+// The multiplexed data path must be a drop-in: the same federation as
+// TestNetFederationMatchesLive, but with peers sharing sockets and
+// coalescing on, must still reach full completeness.
+func TestMultiplexedCoalescedFederation(t *testing.T) {
+	const peers = 12
+	prog, err := msl.Parse("query peers as count() from sensors window time 1s slide 1s trees 4 bf 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, _, err := netrt.NewGroup(
+		[][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}},
+		netrt.Options{Seed: 42, PeersPerSocket: 2, Coalesce: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range rts {
+		if st := rt.NetStats(); st.Sockets != 2 {
+			t.Fatalf("4 peers at 2 per socket bound %d sockets", st.Sockets)
+		}
+	}
+	w1, err := federation.NewWorker(rts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := federation.NewWorker(rts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts[0].ProbeAll(3, 20*time.Millisecond)
+	coord, err := federation.NewRuntime(rts[0], prog, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := runFederations([]*federation.Federation{coord, w1, w2}, peers, func() {
+		for _, rt := range rts {
+			rt.Shutdown()
+		}
+	})
+	if best != peers {
+		t.Fatalf("multiplexed+coalesced completeness %d of %d", best, peers)
+	}
+}
+
+// The tentpole acceptance: a 1,000-peer federation on one machine over
+// real sockets — two runtime "processes" of 500 peers each, 125 peers per
+// socket, coalescing on — joins, installs, and reaches full completeness,
+// with coalescing holding the datagram count under the frame count. No
+// probing or gossip runs (O(n²) datagrams at this scale); planning falls
+// back to the coordinator-local embedding over default latencies.
+func TestThousandPeerMultiplexedFederation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1,000-peer federation run skipped in -short mode")
+	}
+	const peers = 1000
+	prog, err := msl.Parse("query peers as count() from sensors window time 2s slide 2s trees 2 bf 32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := make([][]int, 2)
+	for p := 0; p < peers; p++ {
+		ranges[p/(peers/2)] = append(ranges[p/(peers/2)], p)
+	}
+	rts, _, err := netrt.NewGroup(ranges, netrt.Options{
+		Seed:           1009,
+		PeersPerSocket: 125,
+		Coalesce:       true,
+		ReadBuffer:     4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rts[0].NetStats(); st.Sockets != 4 {
+		t.Fatalf("500 peers at 125 per socket bound %d sockets", st.Sockets)
+	}
+	worker, err := federation.NewWorker(rts[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := federation.NewRuntime(rts[0], prog, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	best := 0
+	coord.Fab.SubscribeAll(func(r mortar.Result) {
+		mu.Lock()
+		if r.Count > best {
+			best = r.Count
+		}
+		mu.Unlock()
+	})
+	for i, fed := range []*federation.Federation{coord, worker} {
+		fed.StartSensors(time.Second, func(peer int) tuple.Raw {
+			return tuple.Raw{Vals: []float64{1}}
+		}, rand.New(rand.NewSource(int64(100+i))))
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		b := best
+		mu.Unlock()
+		if b == peers {
+			break
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	var sentTotal, datagrams, trains uint64
+	for _, rt := range rts {
+		sent, _, _ := rt.Stats()
+		sentTotal += sent
+		st := rt.NetStats()
+		datagrams += st.Datagrams
+		trains += st.Trains
+	}
+	for _, rt := range rts {
+		rt.Shutdown()
+	}
+	mu.Lock()
+	b := best
+	mu.Unlock()
+	if b != peers {
+		t.Fatalf("1,000-peer federation reached completeness %d of %d", b, peers)
+	}
+	if trains == 0 {
+		t.Fatal("no coalesced trains at 1,000-peer scale")
+	}
+	if datagrams >= sentTotal {
+		t.Fatalf("coalescing ineffective: %d datagrams for %d frames", datagrams, sentTotal)
 	}
 }
 

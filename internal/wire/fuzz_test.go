@@ -110,3 +110,25 @@ func FuzzDecodeNack(f *testing.F) {
 		requireCorrupt(t, err)
 	})
 }
+
+func FuzzDecodeTrain(f *testing.F) {
+	var w Buffer
+	for _, frame := range [][]byte{[]byte("ping"), []byte("a much longer small frame"), {1}} {
+		w.PutBytes(frame)
+	}
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var total int
+		err := ForEachTrainFrame(b, func(frame []byte) {
+			if len(frame) == 0 {
+				t.Fatal("train yielded an empty frame")
+			}
+			total += len(frame)
+		})
+		requireCorrupt(t, err)
+		if err == nil && total > len(b) {
+			t.Fatalf("train yielded %d bytes from a %d-byte buffer", total, len(b))
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file is the coalesced-train codec: the inverse of the fragment
+// layer. Where fragments split one oversized frame across many datagrams,
+// a train packs many small frames bound for the same remote socket into
+// one datagram. The layout after the transport's train kind byte is simply
+// repeated `[uvarint length][frame bytes]` items; appending an item is
+// Buffer.PutBytes, and decoding walks the items in place without copying.
+// Like every decoder here, the walk validates each length against the
+// remaining bytes before touching them, returns an error wrapping
+// ErrCorrupt on garbage, and never panics (FuzzDecodeTrain pins this).
+
+// ForEachTrainFrame iterates the frames of a coalesced train, calling fn
+// with each frame's bytes. The slices passed to fn alias b — callers must
+// copy anything they retain past the callback. An empty train, a
+// zero-length item, or a length overrunning the buffer is corrupt; frames
+// already yielded before the corruption was reached have been processed
+// (they are independent datagram payloads, the same exposure as a
+// truncated datagram).
+func ForEachTrainFrame(b []byte, fn func(frame []byte)) error {
+	if len(b) == 0 {
+		return fmt.Errorf("wire: empty train: %w", ErrCorrupt)
+	}
+	off := 0
+	for off < len(b) {
+		l, n := binary.Uvarint(b[off:])
+		if n <= 0 || l == 0 || l > uint64(len(b)-off-n) {
+			return fmt.Errorf("wire: train item at %d: %w", off, ErrCorrupt)
+		}
+		off += n
+		fn(b[off : off+int(l)])
+		off += int(l)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -30,6 +31,48 @@ func (w *Buffer) Bytes() []byte { return w.b }
 
 // Len returns the encoded size so far.
 func (w *Buffer) Len() int { return len(w.b) }
+
+// Reset empties the buffer, keeping its capacity for reuse.
+func (w *Buffer) Reset() { w.b = w.b[:0] }
+
+// Reserve resets the buffer and returns a length-n scratch slice backed by
+// it, growing the backing array if needed. Socket read loops use this to
+// borrow a receive buffer from the pool instead of allocating their own.
+func (w *Buffer) Reserve(n int) []byte {
+	if cap(w.b) < n {
+		w.b = make([]byte, n)
+	}
+	w.b = w.b[:n]
+	return w.b
+}
+
+// bufferPool recycles encode and receive buffers across the hot send and
+// receive paths; see GetBuffer/PutBuffer for the ownership rules.
+var bufferPool = sync.Pool{New: func() any { return new(Buffer) }}
+
+// maxPooledCap bounds the capacity a returned buffer may retain: a buffer
+// that grew past this (a fragmented multi-megabyte send) is dropped rather
+// than pinned in the pool forever.
+const maxPooledCap = 128 << 10
+
+// GetBuffer returns an empty buffer from the pool. The caller owns it until
+// it is handed off (netrt's pacer takes ownership of submitted buffers) or
+// returned with PutBuffer.
+func GetBuffer() *Buffer {
+	w := bufferPool.Get().(*Buffer)
+	w.Reset()
+	return w
+}
+
+// PutBuffer returns a buffer to the pool. Callers must not retain any slice
+// aliasing the buffer (Bytes, Reserve results) past this call. Oversized
+// buffers are dropped so the pool holds only datagram-scale allocations.
+func PutBuffer(w *Buffer) {
+	if w == nil || cap(w.b) > maxPooledCap {
+		return
+	}
+	bufferPool.Put(w)
+}
 
 // PutUvarint appends an unsigned varint.
 func (w *Buffer) PutUvarint(v uint64) {

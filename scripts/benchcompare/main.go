@@ -1,15 +1,23 @@
-// Command benchcompare gates CI on benchmark regressions: it reads two
-// `go test -json -bench` outputs (the previous run's artifact and the
-// current run's), extracts ns/op per benchmark, and fails when any
-// benchmark matching the filter regressed beyond the allowed ratio.
+// Command benchcompare gates CI on benchmark regressions. It reads
+// `go test -json -bench` outputs and applies two independent gates:
+//
+//   - ratio gate (-old + -new + -match): extracts ns/op per benchmark from
+//     the previous run's artifact and the current run's, and fails when any
+//     benchmark matching -match regressed beyond -max-ratio;
+//   - allocation gate (-new + -alloc-match): reads allocs/op (from
+//     -benchmem output) in the current run alone and fails when any
+//     benchmark matching -alloc-match allocates more than -max-allocs per
+//     op — the absolute zero-allocation contract on the hot wire paths,
+//     which needs no baseline artifact.
 //
 // Multiple samples of one benchmark (-count > 1) collapse to their
-// minimum — the least-noise estimate of the true cost, the standard trick
-// for comparing runs on shared CI hardware.
+// per-metric minimum — the least-noise estimate of the true cost, the
+// standard trick for comparing runs on shared CI hardware.
 //
 // Usage:
 //
 //	benchcompare -old prev.json -new now.json -match 'BenchmarkWire|BenchmarkNetrtHeartbeat' -max-ratio 1.25
+//	benchcompare -new now.json -alloc-match 'BenchmarkWireEncodeHeartbeat$' -max-allocs 0
 package main
 
 import (
@@ -31,31 +39,55 @@ type event struct {
 	Output string `json:"Output"`
 }
 
+// result holds one benchmark's metrics, each the minimum across samples.
+// Bop and Allocs are -1 until a -benchmem line reports them.
+type result struct {
+	Ns     float64
+	Bop    float64
+	Allocs float64
+}
+
 // benchLine matches a benchmark result line inside an output event:
-// name (with the -GOMAXPROCS suffix), iteration count, ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// name (with the -GOMAXPROCS suffix), iteration count, ns/op, and — when
+// the run used -benchmem — B/op and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // bareLine matches a result whose name test2json emitted in a previous
 // event (the stream sometimes splits "BenchmarkX \t" and "100\t... ns/op"
 // across events, carrying the name only in the Test field).
-var bareLine = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op`)
+var bareLine = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
-// load reads a -json bench stream and returns min ns/op per benchmark.
-func load(path string) (map[string]float64, error) {
+// load reads a -json bench stream and returns per-benchmark metrics, each
+// the minimum across samples.
+func load(path string) (map[string]*result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string]float64{}
-	record := func(name string, nsText string) {
+	out := map[string]*result{}
+	record := func(name, nsText, bopText, allocText string) {
 		ns, err := strconv.ParseFloat(nsText, 64)
 		if err != nil || name == "" {
 			return
 		}
 		name = strings.Split(name, "-")[0] // drop any -GOMAXPROCS suffix
-		if cur, ok := out[name]; !ok || ns < cur {
-			out[name] = ns
+		r, ok := out[name]
+		if !ok {
+			r = &result{Ns: ns, Bop: -1, Allocs: -1}
+			out[name] = r
+		} else if ns < r.Ns {
+			r.Ns = ns
+		}
+		if bopText != "" {
+			if bop, err := strconv.ParseFloat(bopText, 64); err == nil && (r.Bop < 0 || bop < r.Bop) {
+				r.Bop = bop
+			}
+		}
+		if allocText != "" {
+			if al, err := strconv.ParseFloat(allocText, 64); err == nil && (r.Allocs < 0 || al < r.Allocs) {
+				r.Allocs = al
+			}
 		}
 	}
 	// lastName carries a benchmark name across events for streams where
@@ -76,7 +108,7 @@ func load(path string) (map[string]float64, error) {
 		}
 		text := strings.TrimSpace(ev.Output)
 		if m := benchLine.FindStringSubmatch(text); m != nil {
-			record(m[1], m[2])
+			record(m[1], m[2], m[3], m[4])
 			lastName = ""
 			continue
 		}
@@ -90,62 +122,106 @@ func load(path string) (map[string]float64, error) {
 			if name == "" {
 				name = lastName
 			}
-			record(name, m[1])
+			record(name, m[1], m[2], m[3])
 		}
 	}
 	return out, sc.Err()
 }
 
 func main() {
-	oldPath := flag.String("old", "", "previous run's bench output (test2json stream)")
+	oldPath := flag.String("old", "", "previous run's bench output (test2json stream); enables the ratio gate")
 	newPath := flag.String("new", "", "current run's bench output")
-	match := flag.String("match", ".*", "regexp of benchmark names to gate on")
-	maxRatio := flag.Float64("max-ratio", 1.25, "fail when new/old ns/op exceeds this for any gated benchmark")
+	match := flag.String("match", ".*", "regexp of benchmark names the ratio gate applies to")
+	maxRatio := flag.Float64("max-ratio", 1.25, "fail when new/old ns/op exceeds this for any ratio-gated benchmark")
+	allocMatch := flag.String("alloc-match", "", "regexp of benchmark names the absolute allocation gate applies to (needs -benchmem output)")
+	maxAllocs := flag.Float64("max-allocs", 0, "fail when allocs/op exceeds this for any alloc-gated benchmark")
 	flag.Parse()
-	if *oldPath == "" || *newPath == "" {
-		fmt.Fprintln(os.Stderr, "benchcompare: -old and -new are required")
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
 		os.Exit(2)
 	}
-	filter, err := regexp.Compile(*match)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcompare: bad -match: %v\n", err)
+	if *oldPath == "" && *allocMatch == "" {
+		fmt.Fprintln(os.Stderr, "benchcompare: nothing to gate — pass -old (ratio gate) and/or -alloc-match (allocation gate)")
 		os.Exit(2)
 	}
-	oldNs, err := load(*oldPath)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
-		os.Exit(2)
-	}
-	newNs, err := load(*newPath)
+	newRes, err := load(*newPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(newNs))
-	for name := range newNs {
-		if _, ok := oldNs[name]; ok && filter.MatchString(name) {
-			names = append(names, name)
-		}
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		fmt.Println("benchcompare: no overlapping benchmarks to gate on")
-		return
-	}
 	failed := false
-	for _, name := range names {
-		ratio := newNs[name] / oldNs[name]
-		verdict := "ok"
-		if ratio > *maxRatio {
-			verdict = "REGRESSED"
-			failed = true
+	if *oldPath != "" {
+		filter, err := regexp.Compile(*match)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: bad -match: %v\n", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%-44s %12.1f -> %12.1f ns/op  (%.2fx)  %s\n",
-			name, oldNs[name], newNs[name], ratio, verdict)
+		oldRes, err := load(*oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+			os.Exit(2)
+		}
+		names := make([]string, 0, len(newRes))
+		for name := range newRes {
+			if _, ok := oldRes[name]; ok && filter.MatchString(name) {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			fmt.Println("benchcompare: no overlapping benchmarks to gate on")
+		}
+		for _, name := range names {
+			ratio := newRes[name].Ns / oldRes[name].Ns
+			verdict := "ok"
+			if ratio > *maxRatio {
+				verdict = "REGRESSED"
+				failed = true
+			}
+			fmt.Printf("%-44s %12.1f -> %12.1f ns/op  (%.2fx)  %s\n",
+				name, oldRes[name].Ns, newRes[name].Ns, ratio, verdict)
+		}
 	}
+
+	if *allocMatch != "" {
+		filter, err := regexp.Compile(*allocMatch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: bad -alloc-match: %v\n", err)
+			os.Exit(2)
+		}
+		names := make([]string, 0, len(newRes))
+		for name := range newRes {
+			if filter.MatchString(name) {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			// An alloc gate that matches nothing is a misconfigured (likely
+			// renamed) gate, not a pass.
+			fmt.Fprintf(os.Stderr, "benchcompare: -alloc-match %q matches no benchmark in %s\n", *allocMatch, *newPath)
+			os.Exit(2)
+		}
+		for _, name := range names {
+			r := newRes[name]
+			if r.Allocs < 0 {
+				fmt.Fprintf(os.Stderr, "benchcompare: %s has no allocs/op — run the benchmarks with -benchmem\n", name)
+				failed = true
+				continue
+			}
+			verdict := "ok"
+			if r.Allocs > *maxAllocs {
+				verdict = "ALLOC REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-44s %8.0f B/op %8.2f allocs/op  (limit %g)  %s\n",
+				name, r.Bop, r.Allocs, *maxAllocs, verdict)
+		}
+	}
+
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchcompare: regression beyond %.2fx detected\n", *maxRatio)
+		fmt.Fprintln(os.Stderr, "benchcompare: gate failed")
 		os.Exit(1)
 	}
 }
