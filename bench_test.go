@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -24,8 +25,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/eventsim"
 	"repro/internal/experiments"
+	"repro/internal/federation"
 	"repro/internal/metrics"
 	"repro/internal/mortar"
+	"repro/internal/msl"
 	"repro/internal/netem"
 	"repro/internal/plan"
 	rtpkg "repro/internal/runtime"
@@ -669,5 +672,51 @@ func BenchmarkReplanCycleSim(b *testing.B) {
 			b.Fatal("migration did not complete")
 		}
 		rt.RunFor(10 * time.Second) // drain the retired epoch
+	}
+}
+
+// BenchmarkControlBytesPerQuery records the paper's sharing curve (Fig 13)
+// as a CI artifact: steady-state control bytes per peer per simulated
+// second with 1, 4, 16, and 64 count queries over one shared heartbeat
+// mesh. Heartbeat edges are the union of every query's tree edges, so the
+// per-peer figure must saturate toward the complete graph instead of
+// growing linearly in query count: the q64 metric landing under 8x the q1
+// metric is the sub-linear acceptance bound the federation test
+// (TestControlBytesSubLinear) enforces.
+func BenchmarkControlBytesPerQuery(b *testing.B) {
+	const hosts = 16
+	for _, queries := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("q%d", queries), func(b *testing.B) {
+			var perPeerSec float64
+			for i := 0; i < b.N; i++ {
+				var src strings.Builder
+				for q := 0; q < queries; q++ {
+					fmt.Fprintf(&src, "query q%02d as count() from sensors window time 1s slide 1s trees 4 bf 4\n", q)
+				}
+				prog, err := msl.Parse(src.String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim := eventsim.New(31)
+				rng := rand.New(rand.NewSource(31))
+				p := netem.PaperTopology(hosts)
+				p.Stubs = 6
+				p.Transits = 2
+				net := netem.New(sim, netem.GenerateTransitStub(p, rng))
+				fed, err := federation.New(net, prog, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				fed.StartSensors(time.Second, func(int) tuple.Raw { return tuple.Raw{Vals: []float64{1}} }, rng)
+				const settle = 30 * time.Second
+				const window = 60 * time.Second
+				fed.Sim.RunUntil(settle)
+				before := fed.Fab.Stats.ControlBytes.Load()
+				fed.Sim.RunUntil(settle + window)
+				delta := fed.Fab.Stats.ControlBytes.Load() - before
+				perPeerSec = float64(delta) / float64(hosts) / window.Seconds()
+			}
+			b.ReportMetric(perPeerSec, "ctl_bytes/peer/s")
+		})
 	}
 }

@@ -66,6 +66,7 @@ import (
 
 	"repro/internal/eventsim"
 	"repro/internal/federation"
+	"repro/internal/gateway"
 	"repro/internal/msl"
 	"repro/internal/netem"
 	"repro/internal/runtime/livert"
@@ -96,6 +97,7 @@ func main() {
 		coalesce = flag.Bool("coalesce", false, "UDP mode: batch small frames to one remote socket into coalesced train datagrams")
 		probeRds = flag.Int("probe-rounds", 5, "UDP mode, coordinator without -vivaldi: ProbeAll rounds before planning (0 skips probing — planning falls back to default latencies; use at scales where all-pairs probing is prohibitive)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for hot-path profiles during scale runs")
+		serve    = flag.String("serve", "", "HTTP serving plane address (e.g. localhost:8080): install/list/remove queries and stream results over JSON — -live or UDP coordinator mode; with no -msl the federation starts empty and every query arrives over HTTP")
 		genPeers = flag.String("gen-peers-file", "", "write a ranged peers file for -peers peers multiplexed -peers-per-socket per address starting at -base-port, then exit")
 		perSock  = flag.Int("peers-per-socket", 1, "with -gen-peers-file: peers multiplexed behind each host:port")
 		basePort = flag.Int("base-port", 9000, "with -gen-peers-file: first UDP port to assign")
@@ -117,29 +119,39 @@ func main() {
 		return
 	}
 
-	src := "query peers as count() from sensors window time 1s slide 1s trees 4 bf 16"
+	// With -serve and no -msl the federation starts empty: every query
+	// arrives through the gateway. Otherwise the default count query keeps
+	// the no-flag invocation doing something observable.
+	var prog *msl.Program
+	var err error
 	if *program != "" {
-		b, err := os.ReadFile(*program)
-		if err != nil {
+		b, rerr := os.ReadFile(*program)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		if prog, err = msl.Parse(string(b)); err != nil {
 			fatal(err)
 		}
-		src = string(b)
-	}
-	prog, err := msl.Parse(src)
-	if err != nil {
-		fatal(err)
+	} else if *serve == "" {
+		src := "query peers as count() from sensors window time 1s slide 1s trees 4 bf 16"
+		if prog, err = msl.Parse(src); err != nil {
+			fatal(err)
+		}
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	if *peersFil != "" {
 		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration,
 			netrt.Options{Seed: *seed, MTU: *mtu, Pace: *pace, VivaldiHeight: *height, Coalesce: *coalesce},
-			*vivaldiM, *replan, *driftThr, *probeRds)
+			*vivaldiM, *replan, *driftThr, *probeRds, *serve)
 		return
 	}
 	if *live {
-		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup, *replan, *driftThr)
+		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup, *replan, *driftThr, *serve)
 		return
+	}
+	if *serve != "" {
+		fatal(fmt.Errorf("mortard: -serve needs a wall-clock backend (-live or -peers-file); the simulator compresses virtual time"))
 	}
 
 	sim := eventsim.New(*seed)
@@ -201,9 +213,26 @@ func writePeersFile(path string, peers, perSock, basePort int) error {
 	return nil
 }
 
+// startGateway serves the HTTP plane over fed on addr, returning a
+// shutdown func.
+func startGateway(fed *federation.Federation, addr string) func() {
+	gw := gateway.NewServer(fed, gateway.Options{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: gw}
+	fmt.Printf("# gateway listening on http://%s\n", ln.Addr())
+	go srv.Serve(ln)
+	return func() {
+		srv.Close()
+		gw.Close()
+	}
+}
+
 // runLive executes the same program on the goroutine-per-peer runtime and
 // sleeps through real time instead of stepping a simulator.
-func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64, replan bool, driftThr float64) {
+func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64, replan bool, driftThr float64, serve string) {
 	rt := livert.New(peers, livert.Options{
 		Seed:     seed,
 		MinDelay: 500 * time.Microsecond,
@@ -218,6 +247,9 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	var mon *federation.Monitor
 	if replan {
 		mon = startReplanMonitor(fed, driftThr)
+	}
+	if serve != "" {
+		defer startGateway(fed, serve)()
 	}
 	fed.PrintResults(os.Stdout)
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
@@ -243,6 +275,8 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	sent, delivered, dropped, duplicated := rt.Stats()
 	fmt.Printf("# live transport: sent=%d delivered=%d dropped=%d duplicated=%d epochs_retired=%d\n",
 		sent, delivered, dropped, duplicated, fed.Fab.Stats.EpochsRetired.Load())
+	fmt.Printf("# fabric bytes: ctl=%d data=%d shared_ctl=%d\n",
+		fed.Fab.Stats.ControlBytes.Load(), fed.Fab.Stats.DataBytes.Load(), fed.Fab.Stats.SharedCtlBytes.Load())
 }
 
 // startReplanMonitor arms drift-triggered live replanning, logging every
@@ -269,7 +303,7 @@ func startReplanMonitor(fed *federation.Federation, driftThr float64) *federatio
 // every process runs decentralized Vivaldi: coordinates spread on probe
 // gossip and heartbeats, and the coordinator plans from the gossiped
 // embedding instead of its own probes.
-func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn, replan bool, driftThr float64, probeRounds int) {
+func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn, replan bool, driftThr float64, probeRounds int, serve string) {
 	dir, err := netrt.LoadDirectory(peersFile)
 	if err != nil {
 		fatal(err)
@@ -288,6 +322,9 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	defer rt.Shutdown()
 
 	if !rt.Local(0) {
+		if serve != "" {
+			fatal(fmt.Errorf("mortard: -serve runs on the coordinator (the process hosting peer 0)"))
+		}
 		runNetWorker(rt, join, duration, vivaldiOn)
 		return
 	}
@@ -338,6 +375,9 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 		go rt.Gossip(int(duration/(500*time.Millisecond))+10, 3, 500*time.Millisecond)
 		mon = startReplanMonitor(fed, driftThr)
 	}
+	if serve != "" {
+		defer startGateway(fed, serve)()
+	}
 	fed.PrintResults(os.Stdout)
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
 		return tuple.Raw{Vals: []float64{1}}
@@ -355,6 +395,10 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 		fed.Fab.Stats.EpochsRetired.Load())
 	fmt.Printf("# udp sockets: sockets=%d datagrams=%d trains=%d train_frames=%d\n",
 		ns.Sockets, ns.Datagrams, ns.Trains, ns.TrainFrames)
+	wctl, wdata := rt.ClassBytes()
+	fmt.Printf("# udp class bytes: ctl=%d data=%d (fabric ctl=%d data=%d shared_ctl=%d)\n",
+		wctl, wdata,
+		fed.Fab.Stats.ControlBytes.Load(), fed.Fab.Stats.DataBytes.Load(), fed.Fab.Stats.SharedCtlBytes.Load())
 	var ms goruntime.MemStats
 	goruntime.ReadMemStats(&ms)
 	fmt.Printf("# memstats: heap_alloc=%dKiB total_alloc=%dKiB mallocs=%d gc=%d\n",

@@ -79,13 +79,16 @@ type Federation struct {
 	// running a coordinator-local embedding over Transport.Latency.
 	PlannedFromCoords bool
 
-	// mu guards defs and seq: the replanning monitor mutates them from its
-	// own goroutine while the driving goroutine reads definitions.
-	mu      sync.Mutex
-	defs    map[string]*mortar.QueryDef
-	down    []int
-	seq     uint64
-	planRng *rand.Rand // lazy; replanning only — never perturbs the setup rng stream
+	// mu guards defs, chains and seq: the replanning monitor and the
+	// gateway's install/remove paths mutate them from their own goroutines
+	// while the driving goroutine reads definitions.
+	mu       sync.Mutex
+	defs     map[string]*mortar.QueryDef
+	chains   map[string]func() // per-query subscription chain cancels, keyed by downstream query
+	chainSrc map[string]string // downstream query -> source query it subscribes to
+	down     []int
+	seq      uint64
+	planRng  *rand.Rand // lazy; replanning only — never perturbs the setup rng stream
 }
 
 // New plans and installs every query of prog over net's hosts, driven by
@@ -100,15 +103,30 @@ func New(net *netem.Network, prog *msl.Program, rng *rand.Rand) (*Federation, er
 }
 
 // NewRuntime plans and installs every query of prog over any runtime
-// backend. Queries sourcing "sensors" span all peers; queries sourcing
-// another query run at their root only and are fed by subscription (§2.2
-// composition).
+// backend with the default mortar configuration. Queries sourcing
+// "sensors" span all peers; queries sourcing another query run at their
+// root only and are fed by subscription (§2.2 composition).
 func NewRuntime(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand) (*Federation, error) {
-	fab, err := mortar.NewFabric(rt, nil, mortar.DefaultConfig())
+	return NewRuntimeCfg(rt, prog, rng, mortar.DefaultConfig())
+}
+
+// NewRuntimeCfg is NewRuntime with an explicit mortar configuration. prog
+// may be nil: the federation then starts with zero queries and serves
+// installs arriving later through InstallQuery — the gateway's
+// multi-tenant mode, where every query enters over HTTP.
+func NewRuntimeCfg(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand, cfg mortar.Config) (*Federation, error) {
+	fab, err := mortar.NewFabric(rt, nil, cfg)
 	if err != nil {
 		return nil, err
 	}
-	f := &Federation{Fab: fab, Prog: prog, Rt: rt, defs: map[string]*mortar.QueryDef{}}
+	f := &Federation{
+		Fab:      fab,
+		Prog:     prog,
+		Rt:       rt,
+		defs:     map[string]*mortar.QueryDef{},
+		chains:   map[string]func(){},
+		chainSrc: map[string]string{},
+	}
 
 	// Network coordinates for planning, as the prototype sources them from
 	// Vivaldi (§3.1). On a runtime whose peers gossip coordinates (netrt)
@@ -131,42 +149,24 @@ func NewRuntime(rt runtime.Runtime, prog *msl.Program, rng *rand.Rand) (*Federat
 		f.Model = plan.LatencyFunc(tr.Latency)
 	}
 
-	now := rt.Clock(0).Now()
-	for _, st := range prog.Statements {
-		f.seq++
-		meta := mortar.QueryMeta{
-			Name:      st.Name,
-			Seq:       f.seq,
-			OpName:    st.Op,
-			OpArgs:    st.Args,
-			Window:    st.Window,
-			FilterKey: st.FilterKey,
-			Root:      0,
-			IssuedSim: now,
-		}
-		trees, bf := st.Trees, st.BF
-		if trees == 0 {
-			trees = DefaultTrees
-		}
-		if bf == 0 {
-			bf = DefaultBF
-		}
-		var def *mortar.QueryDef
-		if st.Source == msl.SourceSensors {
-			def, err = fab.Compile(meta, nil, coords, bf, trees)
-		} else {
-			// Downstream query: a root-only operator fed by subscription.
-			def, err = fab.Compile(meta, []int{0}, coords[:1], bf, 1)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("federation: query %q: %w", st.Name, err)
-		}
-		if err := fab.Install(0, def); err != nil {
-			return nil, fmt.Errorf("federation: query %q: %w", st.Name, err)
-		}
-		f.defs[st.Name] = def
-		if st.Source != msl.SourceSensors {
-			fab.Chain(st.Source, 0)
+	if prog != nil {
+		now := rt.Clock(0).Now()
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		for _, st := range prog.Statements {
+			spec := QuerySpec{
+				Name:      st.Name,
+				Op:        st.Op,
+				Args:      st.Args,
+				Source:    st.Source,
+				FilterKey: st.FilterKey,
+				Window:    st.Window,
+				Trees:     st.Trees,
+				BF:        st.BF,
+			}
+			if err := f.installSpecLocked(spec, coords, now); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return f, nil
@@ -204,7 +204,7 @@ func NewWorker(rt runtime.Runtime) (*Federation, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Federation{Fab: fab, Rt: rt, defs: map[string]*mortar.QueryDef{}}, nil
+	return &Federation{Fab: fab, Rt: rt, defs: map[string]*mortar.QueryDef{}, chains: map[string]func(){}, chainSrc: map[string]string{}}, nil
 }
 
 // Def returns the compiled definition of a query — the newest epoch's.

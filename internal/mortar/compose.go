@@ -14,32 +14,52 @@ import (
 
 // Subscribe invokes fn for every result the named query's root reports, in
 // addition to the fabric-wide OnResult hook. Unlike assigning OnResult,
-// subscribing is synchronized and safe while queries are already live.
-func (f *Fabric) Subscribe(query string, fn func(Result)) {
-	f.SubscribeAll(func(r Result) {
+// subscribing is synchronized and safe while queries are already live. The
+// returned cancel func detaches the callback; without it a long-lived
+// fabric serving transient consumers (the HTTP gateway's streams) would
+// leak one callback per departed client. Cancel is idempotent and safe
+// concurrently with emission — a callback already snapshotted by an
+// in-flight emit may run once more after cancel returns.
+func (f *Fabric) Subscribe(query string, fn func(Result)) (cancel func()) {
+	return f.SubscribeAll(func(r Result) {
 		if r.Query == query {
 			fn(r)
 		}
 	})
 }
 
-// SubscribeAll invokes fn for every root-reported result of every query.
-func (f *Fabric) SubscribeAll(fn func(Result)) {
+// SubscribeAll invokes fn for every root-reported result of every query,
+// returning a cancel func that detaches it (see Subscribe).
+func (f *Fabric) SubscribeAll(fn func(Result)) (cancel func()) {
 	f.subMu.Lock()
+	f.subSeq++
+	id := f.subSeq
 	// Copy-on-write so emitResult can iterate a snapshot without holding
 	// the lock across callbacks.
-	subs := make([]func(Result), len(f.subs), len(f.subs)+1)
+	subs := make([]subEntry, len(f.subs), len(f.subs)+1)
 	copy(subs, f.subs)
-	f.subs = append(subs, fn)
+	f.subs = append(subs, subEntry{id: id, fn: fn})
 	f.subMu.Unlock()
+	return func() {
+		f.subMu.Lock()
+		kept := make([]subEntry, 0, len(f.subs))
+		for _, s := range f.subs {
+			if s.id != id {
+				kept = append(kept, s)
+			}
+		}
+		f.subs = kept
+		f.subMu.Unlock()
+	}
 }
 
 // Chain feeds the results of query `from` into query `to` as raw tuples at
 // the downstream query's root peer. Scored-entry results (top-k, union)
 // fan out into one raw per entry with Vals = payload + score; scalar
-// results become a single raw.
-func (f *Fabric) Chain(from string, toRoot int) {
-	f.Subscribe(from, func(r Result) {
+// results become a single raw. The returned cancel func severs the chain
+// (removing the downstream query must also stop feeding it).
+func (f *Fabric) Chain(from string, toRoot int) (cancel func()) {
+	return f.Subscribe(from, func(r Result) {
 		for _, raw := range ResultToRaws(r) {
 			f.Inject(toRoot, raw)
 		}

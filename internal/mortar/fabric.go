@@ -187,6 +187,31 @@ type Stats struct {
 	// EpochsRetired counts completed epoch migrations: the root observed
 	// the new epoch fully wired and multicast the old epoch's retirement.
 	EpochsRetired atomic.Uint64
+	// ControlBytes counts encoded bytes of every control-class message the
+	// local peers transmitted (heartbeats, reconciliation, installs,
+	// removes, topology, acks). With DataBytes it splits network load the
+	// way the paper reports it — and its growth as queries are added is the
+	// sub-linear sharing curve (Figure 13).
+	ControlBytes atomic.Uint64
+	// DataBytes counts encoded bytes of data-class messages (summary
+	// envelopes).
+	DataBytes atomic.Uint64
+	// SharedCtlBytes is the portion of ControlBytes carried by the shared
+	// mesh — heartbeats and pair-wise reconciliation — which every
+	// installed query rides without adding messages of its own. The
+	// remainder of ControlBytes is attributable to individual queries (see
+	// Fabric.QueryTraffic).
+	SharedCtlBytes atomic.Uint64
+}
+
+// QueryTraffic counts the bytes the local peers have transmitted on behalf
+// of one named query: install/remove multicasts, topology service traffic,
+// and install acks on the control side; summary envelopes on the data
+// side. Heartbeats and reconciliation are deliberately absent — they are
+// the shared mesh, accounted in Stats.SharedCtlBytes.
+type QueryTraffic struct {
+	ControlBytes atomic.Uint64
+	DataBytes    atomic.Uint64
 }
 
 // Fabric is a Mortar federation: one peer per runtime slot. The same fabric
@@ -213,8 +238,22 @@ type Fabric struct {
 	// Stats holds fabric-wide counters.
 	Stats Stats
 
-	subMu sync.RWMutex
-	subs  []func(Result)
+	subMu  sync.RWMutex
+	subs   []subEntry
+	subSeq uint64
+
+	// trafMu guards the per-query traffic counter map; the counters
+	// themselves are atomic, so the lock is only ever held for a map
+	// lookup or insert.
+	trafMu    sync.RWMutex
+	queryTraf map[string]*QueryTraffic
+}
+
+// subEntry is one registered result subscriber; the id makes the
+// subscription cancelable.
+type subEntry struct {
+	id uint64
+	fn func(Result)
 }
 
 // emitResult fans a root result out to the OnResult hook and to every
@@ -226,8 +265,8 @@ func (f *Fabric) emitResult(r Result) {
 	f.subMu.RLock()
 	subs := f.subs
 	f.subMu.RUnlock()
-	for _, fn := range subs {
-		fn(r)
+	for _, s := range subs {
+		s.fn(r)
 	}
 }
 
@@ -249,10 +288,11 @@ func NewFabric(rt runtime.Runtime, clocks []vclock.Clock, cfg Config) (*Fabric, 
 		return nil, fmt.Errorf("mortar: %d clocks for %d peers", len(clocks), n)
 	}
 	f := &Fabric{
-		Rt:  rt,
-		Cfg: cfg,
-		tr:  rt.Transport(),
-		rng: rt.Rand(),
+		Rt:        rt,
+		Cfg:       cfg,
+		tr:        rt.Transport(),
+		rng:       rt.Rand(),
+		queryTraf: map[string]*QueryTraffic{},
 	}
 	f.measure, _ = f.tr.(pairMeasurer)
 	vr, _ := rt.(vivaldiRuntime)
@@ -317,7 +357,73 @@ func (f *Fabric) send(from, to int, class runtime.Class, payload any) {
 		f.Stats.Dropped.Add(1)
 		return
 	}
+	f.account(payload, class, w.Len())
 	f.tr.Send(from, to, class, w.Len(), &runtime.Frame{Payload: payload, Bytes: w.Bytes()})
+}
+
+// account attributes one transmitted message's encoded bytes: data bytes
+// to the query whose summary the envelope carries, control bytes either to
+// the query a management message names or to the shared mesh (heartbeats
+// and reconciliation serve every installed query at once — the sharing the
+// paper's sub-linear overhead claim rests on).
+func (f *Fabric) account(payload any, class runtime.Class, size int) {
+	sz := uint64(size)
+	if class == runtime.ClassData {
+		f.Stats.DataBytes.Add(sz)
+	} else {
+		f.Stats.ControlBytes.Add(sz)
+	}
+	switch m := payload.(type) {
+	case *envelope:
+		f.queryTraffic(m.S.Query).DataBytes.Add(sz)
+	case msgInstall:
+		f.queryTraffic(m.Meta.Name).ControlBytes.Add(sz)
+	case msgRemove:
+		f.queryTraffic(m.Name).ControlBytes.Add(sz)
+	case msgTopoRequest:
+		f.queryTraffic(m.Query).ControlBytes.Add(sz)
+	case msgTopoReply:
+		f.queryTraffic(m.Query).ControlBytes.Add(sz)
+	case msgInstallAck:
+		f.queryTraffic(m.Query).ControlBytes.Add(sz)
+	default:
+		// Heartbeats and reconciliation summaries/defs: the shared mesh.
+		if class == runtime.ClassControl {
+			f.Stats.SharedCtlBytes.Add(sz)
+		}
+	}
+}
+
+// queryTraffic returns the named query's traffic counters, creating them on
+// first use. Counters survive removal — they are a cumulative ledger, and
+// the serving plane reports traffic for queries it has already torn down.
+func (f *Fabric) queryTraffic(name string) *QueryTraffic {
+	f.trafMu.RLock()
+	qt := f.queryTraf[name]
+	f.trafMu.RUnlock()
+	if qt != nil {
+		return qt
+	}
+	f.trafMu.Lock()
+	defer f.trafMu.Unlock()
+	if qt = f.queryTraf[name]; qt == nil {
+		qt = &QueryTraffic{}
+		f.queryTraf[name] = qt
+	}
+	return qt
+}
+
+// QueryTraffic reports the cumulative bytes the local peers have sent on
+// behalf of one query (see the QueryTraffic type for what is and is not
+// attributed). Safe from any goroutine.
+func (f *Fabric) QueryTraffic(name string) (controlBytes, dataBytes uint64) {
+	f.trafMu.RLock()
+	qt := f.queryTraf[name]
+	f.trafMu.RUnlock()
+	if qt == nil {
+		return 0, 0
+	}
+	return qt.ControlBytes.Load(), qt.DataBytes.Load()
 }
 
 // Compile plans a query over the given member peers (all peers when members
@@ -466,4 +572,26 @@ func (f *Fabric) EpochCounts(name string, epoch uint32) (installed, wired int) {
 		})
 	}
 	return installed, wired
+}
+
+// InstalledAnywhere reports, live-safely, whether any local peer still
+// hosts any epoch of the query — how a removal is watched draining to
+// completion while the federation keeps running.
+func (f *Fabric) InstalledAnywhere(name string) bool {
+	found := false
+	for i, p := range f.peers {
+		p := p
+		runtime.ExecWait(f.Rt, i, func() {
+			for k := range p.insts {
+				if k.name == name {
+					found = true
+					break
+				}
+			}
+		})
+		if found {
+			return true
+		}
+	}
+	return false
 }

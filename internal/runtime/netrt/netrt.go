@@ -258,6 +258,11 @@ type Runtime struct {
 
 	sent, delivered, dropped atomic.Uint64
 
+	// Per-class wire bytes transmitted (frame header + body, before
+	// fragmentation overhead): the split the serving plane reports so
+	// control-plane cost is observable per process (ClassBytes).
+	ctlBytes, dataBytes atomic.Uint64
+
 	// Datagram-level counters (see NetStats): datagrams actually written,
 	// coalesced trains among them, and the frames those trains carried.
 	datagrams, trains, trainFrames atomic.Uint64
@@ -711,6 +716,16 @@ func (r *Runtime) Stats() (sent, delivered, dropped uint64) {
 	return r.sent.Load(), r.delivered.Load(), r.dropped.Load()
 }
 
+// ClassBytes returns cumulative transmitted wire bytes split by message
+// class (frame header + encoded body; fragment and retransmit framing
+// overhead is not double-counted). Control bytes cover heartbeats,
+// reconciliation, install/remove multicast, and topology/ack traffic —
+// the quantity the paper's sharing argument (Fig 13) bounds as query
+// count grows over one mesh.
+func (r *Runtime) ClassBytes() (controlBytes, dataBytes uint64) {
+	return r.ctlBytes.Load(), r.dataBytes.Load()
+}
+
 // --- runtime.Transport ---
 
 // Handle registers a peer's delivery handler. Handlers registered for
@@ -807,6 +822,11 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 		wire.PutBuffer(w)
 		r.dropped.Add(1)
 		return false
+	}
+	if class == runtime.ClassData {
+		r.dataBytes.Add(uint64(w.Len()))
+	} else {
+		r.ctlBytes.Add(uint64(w.Len()))
 	}
 	if w.Len() <= r.opt.MTU {
 		r.xmit(from, to, w.Bytes(), w, &r.sent, nil)

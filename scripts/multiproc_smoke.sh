@@ -12,14 +12,20 @@
 # reassembly path, proving it end-to-end across real processes. The
 # coordinator's transport summary must report fragment streams.
 #
+# The coordinator also runs -serve: the smoke installs a second query over
+# plain HTTP with curl, reads three windows from its NDJSON stream, removes
+# both queries, and asserts the list endpoint empties — the serving plane
+# exercised end-to-end across real processes.
+#
 # Usage: scripts/multiproc_smoke.sh   (from the repo root)
-# Env:   SMOKE_BASE_PORT (default 47300), SMOKE_DURATION (default 20s)
+# Env:   SMOKE_BASE_PORT (default 47300), SMOKE_DURATION (default 45s)
 set -euo pipefail
 
 PEERS=12
 BASE_PORT="${SMOKE_BASE_PORT:-47300}"
 JOIN="127.0.0.1:$((BASE_PORT + 99))"
-DUR="${SMOKE_DURATION:-20s}"
+GW="127.0.0.1:$((BASE_PORT + 98))"
+DUR="${SMOKE_DURATION:-45s}"
 MTU=160
 
 tmp="$(mktemp -d)"
@@ -44,7 +50,7 @@ echo "query peers as count() from sensors window time 1s slide 1s trees 6 bf 2" 
 pids+=($!)
 "$tmp/mortard" -peers-file "$tmp/peers.txt" -host 8-11 -join "$JOIN" -vivaldi -mtu "$MTU" -msl "$tmp/query.msl" -duration 90s > "$tmp/w2.log" 2>&1 &
 pids+=($!)
-"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 0-3 -listen "$JOIN" -vivaldi -mtu "$MTU" -msl "$tmp/query.msl" -duration "$DUR" > "$tmp/coord.log" 2>&1 &
+"$tmp/mortard" -peers-file "$tmp/peers.txt" -host 0-3 -listen "$JOIN" -vivaldi -mtu "$MTU" -msl "$tmp/query.msl" -duration "$DUR" -serve "$GW" > "$tmp/coord.log" 2>&1 &
 coord=$!
 pids+=("$coord")
 
@@ -59,6 +65,30 @@ for _ in $(seq 1 90); do
   fi
   sleep 1
 done
+
+# --- serving plane: install a query over HTTP, stream it, remove both ---
+gw_ok=0
+if [ "$ok" = 1 ]; then
+  if ! curl -fsS -X POST "http://$GW/v1/queries" \
+      -d '{"name":"gw","op":"count","window_ms":1000,"trees":2,"bf":4}' > "$tmp/gw.log" 2>&1; then
+    echo "FAIL: HTTP install through the gateway failed"; cat "$tmp/gw.log"; exit 1
+  fi
+  # Read three windows from the NDJSON stream (blocks until they arrive).
+  if ! timeout 60 curl -fsS -N "http://$GW/v1/queries/gw/results?limit=3" > "$tmp/stream.log" 2>&1; then
+    echo "FAIL: result stream did not deliver"; cat "$tmp/stream.log"; exit 1
+  fi
+  windows="$(grep -c '"query":"gw"' "$tmp/stream.log" || true)"
+  if [ "$windows" -lt 3 ]; then
+    echo "FAIL: stream served $windows windows, want >= 3"; cat "$tmp/stream.log"; exit 1
+  fi
+  curl -fsS -X DELETE "http://$GW/v1/queries/gw" > /dev/null
+  curl -fsS -X DELETE "http://$GW/v1/queries/peers" > /dev/null
+  if [ "$(curl -fsS "http://$GW/v1/queries")" != "[]" ]; then
+    echo "FAIL: list endpoint not empty after removing every query"
+    curl -fsS "http://$GW/v1/queries"; exit 1
+  fi
+  gw_ok=1
+fi
 
 echo "---- coordinator log ----"
 cat "$tmp/coord.log"
@@ -81,4 +111,8 @@ if ! grep -Eq "frag streams=[1-9]" "$tmp/coord.log"; then
   echo "FAIL: coordinator never fragmented a frame — the install fit the squeezed MTU"
   exit 1
 fi
-echo "OK: multi-process run reached completeness=$PEERS from gossip-planned trees, installs crossed the fragmentation path"
+if [ "$gw_ok" != 1 ]; then
+  echo "FAIL: serving-plane checks never ran"
+  exit 1
+fi
+echo "OK: multi-process run reached completeness=$PEERS from gossip-planned trees, installs crossed the fragmentation path, and the gateway served install/stream/remove over HTTP"
