@@ -31,6 +31,17 @@
 //     falls back to default latencies — the scale-run setting); -pprof
 //     serves net/http/pprof for hot-path profiles.
 //
+// With -chaos <schedule.json> (live and UDP modes) the process replays a
+// scripted fault schedule (internal/chaos DSL) against the running
+// federation: fail-stop kills, staggered recoveries, rolling churn,
+// correlated shared-socket outages, and datagram-loss ramps. Every
+// process of a UDP run passes the same file — expansion is deterministic,
+// so all processes agree on the global fault pattern while each gates
+// only the peers it hosts. The coordinator samples per-window
+// completeness against the schedule's live-node count, writes
+// CURVE_<scenario>.json into -curve-dir, and prints a "# chaos summary:"
+// line the failure smoke gates on.
+//
 // With -replan (live and UDP coordinator modes) the process monitors the
 // latency view for drift: when a query's deployed tree set costs more
 // than -drift-threshold above what a fresh plan would, the query is
@@ -64,6 +75,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/eventsim"
 	"repro/internal/federation"
 	"repro/internal/gateway"
@@ -101,6 +113,8 @@ func main() {
 		genPeers = flag.String("gen-peers-file", "", "write a ranged peers file for -peers peers multiplexed -peers-per-socket per address starting at -base-port, then exit")
 		perSock  = flag.Int("peers-per-socket", 1, "with -gen-peers-file: peers multiplexed behind each host:port")
 		basePort = flag.Int("base-port", 9000, "with -gen-peers-file: first UDP port to assign")
+		chaosF   = flag.String("chaos", "", "fault schedule JSON to replay against the running federation (-live or UDP mode; every process of a UDP run passes the same file)")
+		curveDir = flag.String("curve-dir", ".", "with -chaos: directory the coordinator writes CURVE_<scenario>.json into")
 	)
 	flag.Parse()
 
@@ -139,19 +153,29 @@ func main() {
 		}
 	}
 
+	var sched *chaos.Schedule
+	if *chaosF != "" {
+		if sched, err = chaos.Load(*chaosF); err != nil {
+			fatal(err)
+		}
+	}
+
 	rng := rand.New(rand.NewSource(*seed))
 	if *peersFil != "" {
 		runNet(prog, rng, *peersFil, *host, *listen, *join, *duration,
 			netrt.Options{Seed: *seed, MTU: *mtu, Pace: *pace, VivaldiHeight: *height, Coalesce: *coalesce},
-			*vivaldiM, *replan, *driftThr, *probeRds, *serve)
+			*vivaldiM, *replan, *driftThr, *probeRds, *serve, sched, *curveDir)
 		return
 	}
 	if *live {
-		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup, *replan, *driftThr, *serve)
+		runLive(prog, rng, *peers, *duration, *fail, *seed, *loss, *dup, *replan, *driftThr, *serve, sched, *curveDir)
 		return
 	}
 	if *serve != "" {
 		fatal(fmt.Errorf("mortard: -serve needs a wall-clock backend (-live or -peers-file); the simulator compresses virtual time"))
+	}
+	if sched != nil {
+		fatal(fmt.Errorf("mortard: -chaos needs a wall-clock backend (-live or -peers-file); the simulator has its own scripted failures via -fail"))
 	}
 
 	sim := eventsim.New(*seed)
@@ -230,9 +254,61 @@ func startGateway(fed *federation.Federation, addr string) func() {
 	}
 }
 
+// startChaos replays sched against inj while sampling fed's root
+// completeness against the schedule-truth live count. The returned stop
+// func ends the replay, writes CURVE_<scenario>.json into curveDir, and
+// prints the summary line the smoke gates parse.
+func startChaos(fed *federation.Federation, inj chaos.Injector, sched *chaos.Schedule, curveDir string) func() {
+	runner, err := chaos.Start(inj, sched)
+	if err != nil {
+		fatal(err)
+	}
+	watch := fed.WatchCompleteness("")
+	rec := chaos.NewRecorder(sched.Scenario, inj.NumPeers(), sched.SamplePeriod(), chaos.Probe{
+		Live:         runner.Live,
+		Completeness: watch.Latest,
+	})
+	rec.Start()
+	if fStart, fEnd, ok := chaos.FaultSpan(runner.Actions()); ok {
+		fmt.Printf("# chaos: scenario=%s actions=%d fault_span=%v..%v\n",
+			sched.Scenario, len(runner.Actions()), fStart, fEnd)
+	} else {
+		fmt.Printf("# chaos: scenario=%s actions=%d (no gate faults)\n",
+			sched.Scenario, len(runner.Actions()))
+	}
+	return func() {
+		runner.Stop()
+		rec.Stop()
+		watch.Close()
+		fs, fe, _ := runner.FaultSpan()
+		curve := rec.Curve(fs, fe)
+		path, err := curve.WriteFile(curveDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "# chaos: writing curve: %v\n", err)
+			path = "<unwritten>"
+		}
+		fmt.Printf("# chaos summary: scenario=%s baseline=%d fault_min=%d min_live=%d recovered=%d samples=%d curve=%s\n",
+			curve.Scenario, curve.Summary.Baseline, curve.Summary.FaultMin,
+			curve.Summary.MinLive, curve.Summary.Recovered, len(curve.Samples), path)
+	}
+}
+
+// startChaosWorker replays sched against a worker process's runtime: the
+// expansion is identical to the coordinator's (same schedule, same seed),
+// the locality filter gates only the peers this process hosts, and no
+// measurement runs — completeness is sampled at the root.
+func startChaosWorker(inj chaos.Injector, sched *chaos.Schedule) func() {
+	runner, err := chaos.Start(inj, sched)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# chaos: worker replaying scenario=%s actions=%d\n", sched.Scenario, len(runner.Actions()))
+	return runner.Stop
+}
+
 // runLive executes the same program on the goroutine-per-peer runtime and
 // sleeps through real time instead of stepping a simulator.
-func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64, replan bool, driftThr float64, serve string) {
+func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duration, fail float64, seed int64, loss, dup float64, replan bool, driftThr float64, serve string, sched *chaos.Schedule, curveDir string) {
 	rt := livert.New(peers, livert.Options{
 		Seed:     seed,
 		MinDelay: 500 * time.Microsecond,
@@ -256,6 +332,12 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 		return tuple.Raw{Vals: []float64{1}}
 	}, rng)
 
+	// The fabric is the live backend's injector: single process, so every
+	// peer is local and the transport gates resolve in-process.
+	var stopChaos func()
+	if sched != nil {
+		stopChaos = startChaos(fed, fed.Fab, sched, curveDir)
+	}
 	if fail > 0 {
 		time.Sleep(duration / 3)
 		n := int(fail * float64(peers))
@@ -270,6 +352,9 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	}
 	if mon != nil {
 		mon.Stop() // before Shutdown, so no poll races a dead runtime
+	}
+	if stopChaos != nil {
+		stopChaos()
 	}
 	rt.Shutdown()
 	sent, delivered, dropped, duplicated := rt.Stats()
@@ -303,7 +388,7 @@ func startReplanMonitor(fed *federation.Federation, driftThr float64) *federatio
 // every process runs decentralized Vivaldi: coordinates spread on probe
 // gossip and heartbeats, and the coordinator plans from the gossiped
 // embedding instead of its own probes.
-func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn, replan bool, driftThr float64, probeRounds int, serve string) {
+func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join string, duration time.Duration, opt netrt.Options, vivaldiOn, replan bool, driftThr float64, probeRounds int, serve string, sched *chaos.Schedule, curveDir string) {
 	dir, err := netrt.LoadDirectory(peersFile)
 	if err != nil {
 		fatal(err)
@@ -325,7 +410,7 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 		if serve != "" {
 			fatal(fmt.Errorf("mortard: -serve runs on the coordinator (the process hosting peer 0)"))
 		}
-		runNetWorker(rt, join, duration, vivaldiOn)
+		runNetWorker(rt, join, duration, vivaldiOn, sched)
 		return
 	}
 
@@ -382,9 +467,19 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
 		return tuple.Raw{Vals: []float64{1}}
 	}, rng)
+	// The runtime is the injector: its locality filter gates only the
+	// peers this process hosts, while workers replay the same schedule
+	// over theirs.
+	var stopChaos func()
+	if sched != nil {
+		stopChaos = startChaos(fed, rt, sched, curveDir)
+	}
 	time.Sleep(duration)
 	if mon != nil {
 		mon.Stop() // before Shutdown, so no poll races a dead runtime
+	}
+	if stopChaos != nil {
+		stopChaos()
 	}
 	rt.Shutdown()
 	sent, delivered, dropped := rt.Stats()
@@ -413,7 +508,7 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 // arrive over the network via install multicast and reconciliation. Under
 // -vivaldi the worker keeps gossiping its coordinate in the background so
 // the federation's embedding tracks the network for the whole run.
-func runNetWorker(rt *netrt.Runtime, join string, duration time.Duration, vivaldiOn bool) {
+func runNetWorker(rt *netrt.Runtime, join string, duration time.Duration, vivaldiOn bool, sched *chaos.Schedule) {
 	fed, err := federation.NewWorker(rt)
 	if err != nil {
 		fatal(err)
@@ -425,6 +520,9 @@ func runNetWorker(rt *netrt.Runtime, join string, duration time.Duration, vivald
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
 		return tuple.Raw{Vals: []float64{1}}
 	}, rng)
+	if sched != nil {
+		defer startChaosWorker(rt, sched)()
+	}
 	locals := rt.LocalPeers()
 	fmt.Printf("# worker hosting peers %d..%d\n", locals[0], locals[len(locals)-1])
 	if join == "" {

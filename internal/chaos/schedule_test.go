@@ -1,0 +1,297 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, src string) *Schedule {
+	t.Helper()
+	s, err := Parse([]byte(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return s
+}
+
+func TestParseValid(t *testing.T) {
+	s := mustParse(t, `{
+		"scenario": "fig11-kill40",
+		"seed": 7,
+		"sample_ms": 250,
+		"events": [
+			{"kind": "kill", "at_ms": 1000, "frac": 0.4, "stagger_ms": 10},
+			{"kind": "recover", "at_ms": 5000, "all": true, "stagger_ms": 10},
+			{"kind": "churn", "at_ms": 6000, "until_ms": 8000, "every_ms": 500, "count": 2},
+			{"kind": "loss-ramp", "at_ms": 9000, "until_ms": 10000, "from": 0, "to": 0.2, "step_ms": 250},
+			{"kind": "peer-loss", "at_ms": 10500, "peers": [3, 4], "loss": 0.5}
+		]
+	}`)
+	if s.Scenario != "fig11-kill40" || s.Seed != 7 || len(s.Events) != 5 {
+		t.Fatalf("unexpected schedule: %+v", s)
+	}
+	if got := s.SamplePeriod(); got != 250*time.Millisecond {
+		t.Fatalf("SamplePeriod = %v", got)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"negative at_ms",
+			`{"scenario":"x","events":[{"kind":"kill","at_ms":-5,"frac":0.1}]}`,
+			"negative"},
+		{"empty interval",
+			`{"scenario":"x","events":[{"kind":"churn","at_ms":500,"until_ms":500,"every_ms":100,"count":1}]}`,
+			"empty or negative"},
+		{"inverted interval",
+			`{"scenario":"x","events":[{"kind":"loss-ramp","at_ms":900,"until_ms":300,"from":0,"to":0.1,"step_ms":100}]}`,
+			"empty or negative"},
+		{"overlapping same-kind intervals",
+			`{"scenario":"x","events":[
+				{"kind":"churn","at_ms":0,"until_ms":2000,"every_ms":500,"count":1},
+				{"kind":"churn","at_ms":1500,"until_ms":3000,"every_ms":500,"count":1}]}`,
+			"overlapping"},
+		{"overlapping same-socket outages",
+			`{"scenario":"x","events":[
+				{"kind":"socket-outage","at_ms":0,"until_ms":2000,"socket":1},
+				{"kind":"socket-outage","at_ms":1000,"until_ms":3000,"socket":1}]}`,
+			"overlapping"},
+		{"kill with both peers and frac",
+			`{"scenario":"x","events":[{"kind":"kill","at_ms":0,"peers":[1],"frac":0.5}]}`,
+			"exactly one"},
+		{"kill with neither",
+			`{"scenario":"x","events":[{"kind":"kill","at_ms":0}]}`,
+			"exactly one"},
+		{"frac above one",
+			`{"scenario":"x","events":[{"kind":"kill","at_ms":0,"frac":1.5}]}`,
+			"outside [0, 1]"},
+		{"until_ms on point event",
+			`{"scenario":"x","events":[{"kind":"kill","at_ms":0,"until_ms":100,"frac":0.1}]}`,
+			"until_ms only applies"},
+		{"unknown kind",
+			`{"scenario":"x","events":[{"kind":"explode","at_ms":0}]}`,
+			"unknown kind"},
+		{"unknown field",
+			`{"scenario":"x","events":[{"kind":"kill","at_ms":0,"frac":0.1,"fraction":0.5}]}`,
+			"unknown field"},
+		{"bad scenario name",
+			`{"scenario":"a/b","events":[]}`,
+			"must be a"},
+		{"negative peer",
+			`{"scenario":"x","events":[{"kind":"peer-loss","at_ms":0,"peers":[-2],"loss":0.1}]}`,
+			"negative peer"},
+		{"loss outside range",
+			`{"scenario":"x","events":[{"kind":"peer-loss","at_ms":0,"peers":[1],"loss":1.2}]}`,
+			"outside [0, 1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// Different-kind intervals may overlap: churn during a loss ramp is a
+// legitimate compound scenario.
+func TestParseAllowsCrossKindOverlap(t *testing.T) {
+	mustParse(t, `{"scenario":"x","events":[
+		{"kind":"churn","at_ms":0,"until_ms":2000,"every_ms":500,"count":1},
+		{"kind":"loss-ramp","at_ms":500,"until_ms":1500,"from":0,"to":0.1,"step_ms":250},
+		{"kind":"socket-outage","at_ms":0,"until_ms":1000,"socket":0},
+		{"kind":"socket-outage","at_ms":500,"until_ms":1500,"socket":1}]}`)
+}
+
+func TestExpandDeterministic(t *testing.T) {
+	src := `{
+		"scenario": "det",
+		"seed": 42,
+		"events": [
+			{"kind": "kill", "at_ms": 100, "frac": 0.4, "stagger_ms": 5},
+			{"kind": "churn", "at_ms": 500, "until_ms": 1500, "every_ms": 250, "count": 3},
+			{"kind": "recover", "at_ms": 2000, "all": true, "stagger_ms": 5},
+			{"kind": "loss-ramp", "at_ms": 2500, "until_ms": 3000, "from": 0, "to": 0.3, "step_ms": 100}
+		]
+	}`
+	groups := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8, 9}}
+	a1, err := mustParse(t, src).Expand(50, groups)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	a2, err := mustParse(t, src).Expand(50, groups)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("same schedule expanded differently:\n%v\nvs\n%v", a1, a2)
+	}
+	if len(a1) == 0 {
+		t.Fatal("empty expansion")
+	}
+
+	// A different seed must shuffle the victim draw.
+	s3 := mustParse(t, src)
+	s3.Seed = 43
+	a3, err := s3.Expand(50, groups)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if reflect.DeepEqual(a1, a3) {
+		t.Fatal("seed change did not alter the expansion")
+	}
+}
+
+func TestExpandInvariants(t *testing.T) {
+	s := mustParse(t, `{
+		"scenario": "inv",
+		"seed": 11,
+		"events": [
+			{"kind": "kill", "at_ms": 0, "frac": 0.4, "stagger_ms": 2},
+			{"kind": "churn", "at_ms": 1000, "until_ms": 2000, "every_ms": 200, "count": 4},
+			{"kind": "recover", "at_ms": 3000, "all": true, "stagger_ms": 2}
+		]
+	}`)
+	const n = 100
+	acts, err := s.Expand(n, nil)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	live := n
+	down := make([]bool, n)
+	for i, a := range acts {
+		if i > 0 && a.At < acts[i-1].At {
+			t.Fatalf("actions out of time order at %d: %v after %v", i, a.At, acts[i-1].At)
+		}
+		switch a.Kind {
+		case ActKill:
+			if a.Peer == 0 {
+				t.Fatal("schedule killed root peer 0")
+			}
+			if down[a.Peer] {
+				t.Fatalf("double kill of peer %d", a.Peer)
+			}
+			down[a.Peer] = true
+			live--
+		case ActRecover:
+			if !down[a.Peer] {
+				t.Fatalf("recover of live peer %d", a.Peer)
+			}
+			down[a.Peer] = false
+			live++
+		}
+		if a.Live != live {
+			t.Fatalf("action %d stamped live=%d, replay says %d", i, a.Live, live)
+		}
+	}
+	if live != n {
+		t.Fatalf("schedule ends with %d live, want full recovery to %d", live, n)
+	}
+
+	// 40% of 100 with a live root: exactly 40 kills.
+	kills := 0
+	for _, a := range acts {
+		if a.Kind == ActKill && a.At < 1*time.Second {
+			kills++
+		}
+	}
+	if kills != 40 {
+		t.Fatalf("frac 0.4 over 100 peers drew %d initial kills, want 40", kills)
+	}
+
+	start, end, ok := FaultSpan(acts)
+	if !ok || start != 0 || end < 3*time.Second {
+		t.Fatalf("FaultSpan = %v, %v, %v", start, end, ok)
+	}
+}
+
+func TestExpandSocketOutage(t *testing.T) {
+	s := mustParse(t, `{
+		"scenario": "sock",
+		"seed": 3,
+		"events": [{"kind": "socket-outage", "at_ms": 100, "until_ms": 400, "socket": 1}]
+	}`)
+	groups := [][]int{{0, 1, 2}, {3, 4, 5}}
+	acts, err := s.Expand(6, groups)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var killed, recovered []int
+	for _, a := range acts {
+		switch a.Kind {
+		case ActKill:
+			killed = append(killed, a.Peer)
+		case ActRecover:
+			recovered = append(recovered, a.Peer)
+		}
+	}
+	want := []int{3, 4, 5}
+	if !reflect.DeepEqual(killed, want) || !reflect.DeepEqual(recovered, want) {
+		t.Fatalf("outage killed %v recovered %v, want group %v both times", killed, recovered, want)
+	}
+
+	// The root's group loses everyone but peer 0.
+	s.Events[0].Socket = 0
+	acts, err = s.Expand(6, groups)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	for _, a := range acts {
+		if a.Peer == 0 {
+			t.Fatal("outage on the root's socket group gated peer 0")
+		}
+	}
+	if len(acts) != 4 {
+		t.Fatalf("expected 2 kills + 2 recoveries, got %d actions", len(acts))
+	}
+
+	// Outage against a group the runtime doesn't have must fail loudly.
+	s.Events[0].Socket = 9
+	if _, err := s.Expand(6, groups); err == nil {
+		t.Fatal("socket index past the group list was accepted")
+	}
+	if _, err := s.Expand(6, nil); err == nil {
+		t.Fatal("socket-outage with no groups was accepted")
+	}
+}
+
+func TestExpandLossRampEndsAtTarget(t *testing.T) {
+	s := mustParse(t, `{
+		"scenario": "ramp",
+		"events": [{"kind": "loss-ramp", "at_ms": 0, "until_ms": 1000, "from": 0.1, "to": 0.5, "step_ms": 300}]
+	}`)
+	acts, err := s.Expand(4, nil)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if len(acts) < 2 {
+		t.Fatalf("ramp expanded to %d actions", len(acts))
+	}
+	first, last := acts[0], acts[len(acts)-1]
+	if first.Kind != ActLoss || first.Loss != 0.1 {
+		t.Fatalf("ramp starts at %+v", first)
+	}
+	if last.Kind != ActLoss || last.Loss != 0.5 || last.At != time.Second {
+		t.Fatalf("ramp ends at %+v, want loss 0.5 at 1s", last)
+	}
+	for i := 1; i < len(acts); i++ {
+		if acts[i].Loss < acts[i-1].Loss {
+			t.Fatalf("ramp not monotonic: %v", acts)
+		}
+	}
+}
+
+func TestExpandPeerBounds(t *testing.T) {
+	s := mustParse(t, `{"scenario":"x","events":[{"kind":"kill","at_ms":0,"peers":[7]}]}`)
+	if _, err := s.Expand(4, nil); err == nil {
+		t.Fatal("peer index past federation size was accepted")
+	}
+}

@@ -1,0 +1,117 @@
+package federation
+
+import (
+	"sync"
+
+	"repro/internal/mortar"
+)
+
+// maxTrackedWindows bounds the per-window completeness map a watch keeps.
+// A watch lives for a whole experiment; unbounded retention over an
+// hours-long soak would grow without limit, and no consumer looks further
+// back than the sampling period anyway.
+const maxTrackedWindows = 1024
+
+// CompletenessWatch tracks per-window result completeness for one query
+// as the federation runs, replacing the ad-hoc subscribe-and-poll loops
+// tests used to build. It folds results with the per-window maximum
+// across plan epochs: during a make-before-break migration both epochs
+// report the same window, and the best of the two is the federation's
+// completeness for it.
+type CompletenessWatch struct {
+	mu      sync.Mutex
+	windows map[int64]int
+	order   []int64 // insertion order, for bounded eviction
+	latest  int64   // newest window seen
+	best    int     // max completeness across all windows
+	any     bool
+	cancel  func()
+}
+
+// WatchCompleteness subscribes a watch to the named query's root results
+// ("" watches every query). Close it when done; the subscription holds a
+// fabric callback slot until then.
+func (f *Federation) WatchCompleteness(query string) *CompletenessWatch {
+	w := &CompletenessWatch{windows: make(map[int64]int)}
+	w.cancel = f.Fab.SubscribeAll(func(r mortar.Result) {
+		if query != "" && r.Query != query {
+			return
+		}
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if cur, ok := w.windows[r.WindowIndex]; !ok || r.Count > cur {
+			if !ok {
+				w.order = append(w.order, r.WindowIndex)
+				if len(w.order) > maxTrackedWindows {
+					delete(w.windows, w.order[0])
+					w.order = w.order[1:]
+				}
+			}
+			w.windows[r.WindowIndex] = r.Count
+		}
+		if r.Count > w.best {
+			w.best = r.Count
+		}
+		if !w.any || r.WindowIndex > w.latest {
+			w.latest = r.WindowIndex
+			w.any = true
+		}
+	})
+	return w
+}
+
+// Latest returns the newest window index seen and its completeness
+// (zeros before the first result).
+func (w *CompletenessWatch) Latest() (window int64, count int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.any {
+		return 0, 0
+	}
+	return w.latest, w.windows[w.latest]
+}
+
+// Best returns the highest completeness any window has reached.
+func (w *CompletenessWatch) Best() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.best
+}
+
+// Window returns the completeness recorded for one window index.
+func (w *CompletenessWatch) Window(idx int64) (count int, ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	count, ok = w.windows[idx]
+	return count, ok
+}
+
+// Snapshot copies the tracked window -> completeness map.
+func (w *CompletenessWatch) Snapshot() map[int64]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[int64]int, len(w.windows))
+	for k, v := range w.windows {
+		out[k] = v
+	}
+	return out
+}
+
+// Close cancels the underlying subscription. Idempotent.
+func (w *CompletenessWatch) Close() {
+	w.mu.Lock()
+	cancel := w.cancel
+	w.cancel = nil
+	w.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// LiveCount returns the fabric's count of currently-connected peers. Note
+// this is the local transport's view: in a multi-process federation it
+// only reflects peers this process gates (use the chaos runner's
+// schedule-truth count there).
+func (f *Federation) LiveCount() int {
+	return f.Fab.LiveCount()
+}

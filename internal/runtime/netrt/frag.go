@@ -3,6 +3,7 @@ package netrt
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 	"math/rand"
 	"net"
 	"net/netip"
@@ -442,6 +443,11 @@ type pacer struct {
 	done chan struct{}
 	ct   pacerCounters
 
+	// loss is the live datagram-loss probability (float64 bits), seeded
+	// from opt.loss and swappable mid-run via setLoss — how a chaos
+	// schedule's loss ramp reaches a running socket.
+	loss atomic.Uint64
+
 	// Drain-goroutine state: the token bucket and the pending trains.
 	tokens  float64
 	last    time.Time
@@ -464,6 +470,7 @@ func newPacer(conn *net.UDPConn, opt pacerOptions, ct pacerCounters) *pacer {
 		done: make(chan struct{}),
 		ct:   ct,
 	}
+	p.loss.Store(math.Float64bits(opt.loss))
 	if opt.coalesce {
 		p.pending = map[int]*pendTrain{}
 		p.timer = time.NewTimer(time.Hour)
@@ -507,8 +514,12 @@ func (p *pacer) loop() {
 
 // handle disposes of one submitted frame: loss roll, then either append it
 // to the destination's pending train or write it through.
+// setLoss swaps the loss probability; the drain goroutine sees it on its
+// next frame.
+func (p *pacer) setLoss(v float64) { p.loss.Store(math.Float64bits(v)) }
+
 func (p *pacer) handle(pkt packet) {
-	if p.opt.loss > 0 && p.rng.Float64() < p.opt.loss {
+	if loss := math.Float64frombits(p.loss.Load()); loss > 0 && p.rng.Float64() < loss {
 		p.ct.dropped.Add(1)
 		wire.PutBuffer(pkt.buf)
 		return

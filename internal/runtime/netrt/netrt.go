@@ -256,6 +256,15 @@ type Runtime struct {
 	// swappable mid-run via SetPairDelay.
 	pairDelay atomic.Pointer[func(from, to int) time.Duration]
 
+	// peerLoss holds per-peer datagram-loss overrides (float64 bits; 0 =
+	// no override): every outgoing datagram of local peer p is dropped
+	// with this probability before it reaches the paced writer. The chaos
+	// harness uses it to ramp loss on individual peers while the rest of
+	// the federation stays clean.
+	peerLoss []atomic.Uint64
+	lossMu   sync.Mutex
+	lossRng  *rand.Rand
+
 	sent, delivered, dropped atomic.Uint64
 
 	// Per-class wire bytes transmitted (frame header + body, before
@@ -373,6 +382,8 @@ func assemble(addrs []*net.UDPAddr, local []int, conns []*net.UDPConn, opt Optio
 		nodes:      make([]*vivaldi.Node, n),
 		peerCoords: make([]vivaldi.Coordinate, n),
 		peerErrs:   make([]float64, n),
+		peerLoss:   make([]atomic.Uint64, n),
+		lossRng:    rand.New(rand.NewSource(opt.Seed*31337 + 17)),
 	}
 	r.vcfg = vivaldi.DefaultConfig()
 	r.vcfg.Height = opt.VivaldiHeight
@@ -505,6 +516,60 @@ func (r *Runtime) SetPairDelay(f func(from, to int) time.Duration) {
 	r.pairDelay.Store(&f)
 }
 
+// SetLoss replaces the simulated datagram-loss probability (Options.Loss)
+// on every local socket at run time — the knob loss ramps in a chaos
+// schedule turn. Values outside [0, 1) are clamped.
+func (r *Runtime) SetLoss(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 1
+	}
+	for _, s := range r.socks {
+		s.pacer.setLoss(p)
+	}
+}
+
+// SetPeerLoss overrides the datagram-loss probability for one local peer:
+// every outgoing datagram of that peer — messages, fragments, probes,
+// NACKs — is dropped with probability p before it reaches the paced
+// writer, while the rest of the federation keeps the socket-wide rate. 0
+// removes the override. A no-op for peers this process does not host.
+func (r *Runtime) SetPeerLoss(peer int, p float64) {
+	if peer < 0 || peer >= r.n || !r.isLocal[peer] {
+		return
+	}
+	if p <= 0 {
+		r.peerLoss[peer].Store(0)
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	r.peerLoss[peer].Store(math.Float64bits(p))
+}
+
+// AddressGroups returns the federation's peers grouped by shared directory
+// address, in directory order: group g holds every peer multiplexed behind
+// the g'th distinct address. Every process of a federation derives the
+// same grouping from the shared directory, which is what lets a chaos
+// schedule's correlated per-socket outage kill the same peer set in every
+// process.
+func (r *Runtime) AddressGroups() [][]int {
+	ng := 0
+	for _, id := range r.addrID {
+		if id >= ng {
+			ng = id + 1
+		}
+	}
+	groups := make([][]int, ng)
+	for p, id := range r.addrID {
+		groups[id] = append(groups[id], p)
+	}
+	return groups
+}
+
 // xmit submits one outgoing frame to the sending peer's paced writer,
 // first holding it for the synthetic pair delay when a topology is
 // configured. buf, when non-nil, is the pooled buffer backing b — the
@@ -527,6 +592,21 @@ func (r *Runtime) xmit(from, to int, b []byte, buf *wire.Buffer, c1, c2 *atomic.
 }
 
 func (r *Runtime) xmitNow(from, to int, b []byte, buf *wire.Buffer, c1, c2 *atomic.Uint64) {
+	// Per-peer loss override (SetPeerLoss): rolled here rather than in the
+	// pacer because the pacer serves a whole shared socket and only the
+	// frame's origin identifies the faulted peer. Zero (the default) costs
+	// one atomic load on the hot path.
+	if bits := r.peerLoss[from].Load(); bits != 0 {
+		p := math.Float64frombits(bits)
+		r.lossMu.Lock()
+		drop := r.lossRng.Float64() < p
+		r.lossMu.Unlock()
+		if drop {
+			r.dropped.Add(1)
+			wire.PutBuffer(buf)
+			return
+		}
+	}
 	if r.socks[r.sockOf[from]].pacer.submit(b, buf, r.ports[to], r.addrID[to]) {
 		if c1 != nil {
 			c1.Add(1)

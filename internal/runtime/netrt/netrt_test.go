@@ -302,38 +302,23 @@ func TestRTTMeasurement(t *testing.T) {
 	})
 }
 
-// runFederations starts sensors on every federation, polls the first
+// runFederations starts sensors on every federation, watches the first
 // federation's best root completeness until it reaches target (or 12s
 // pass), shuts everything down, and returns the best count seen.
 func runFederations(feds []*federation.Federation, target int, shutdown func()) int {
-	var mu sync.Mutex
-	best := 0
-	feds[0].Fab.SubscribeAll(func(r mortar.Result) {
-		mu.Lock()
-		if r.Count > best {
-			best = r.Count
-		}
-		mu.Unlock()
-	})
+	watch := feds[0].WatchCompleteness("")
+	defer watch.Close()
 	for i, fed := range feds {
 		fed.StartSensors(500*time.Millisecond, func(peer int) tuple.Raw {
 			return tuple.Raw{Vals: []float64{1}}
 		}, rand.New(rand.NewSource(int64(100+i))))
 	}
 	deadline := time.Now().Add(12 * time.Second)
-	for time.Now().Before(deadline) {
-		mu.Lock()
-		b := best
-		mu.Unlock()
-		if b == target {
-			break
-		}
+	for time.Now().Before(deadline) && watch.Best() != target {
 		time.Sleep(100 * time.Millisecond)
 	}
 	shutdown()
-	mu.Lock()
-	defer mu.Unlock()
-	return best
+	return watch.Best()
 }
 
 // The acceptance test: several netrt runtimes in one process — each

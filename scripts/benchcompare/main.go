@@ -149,6 +149,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 		os.Exit(2)
 	}
+	if len(newRes) == 0 {
+		// An empty or malformed -new stream means the bench step itself
+		// broke; passing here would wave a dead gate through CI.
+		fmt.Fprintf(os.Stderr, "benchcompare: no benchmark results in %s — empty or malformed bench output\n", *newPath)
+		os.Exit(2)
+	}
 
 	failed := false
 	if *oldPath != "" {
@@ -170,7 +176,12 @@ func main() {
 		}
 		sort.Strings(names)
 		if len(names) == 0 {
-			fmt.Println("benchcompare: no overlapping benchmarks to gate on")
+			// The caller only reaches the ratio gate with a baseline in
+			// hand (CI skips it when no artifact exists), so zero overlap
+			// means renamed benchmarks or a broken -match — a dead gate,
+			// not a pass.
+			fmt.Fprintf(os.Stderr, "benchcompare: no overlapping benchmarks between %s and %s match %q\n", *oldPath, *newPath, *match)
+			os.Exit(2)
 		}
 		for _, name := range names {
 			ratio := newRes[name].Ns / oldRes[name].Ns

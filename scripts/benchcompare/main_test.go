@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadParsesBenchStream(t *testing.T) {
+	path := write(t, "bench.json", `
+{"Action":"output","Output":"BenchmarkWireEncodeHeartbeat-8   \t 2000\t       52.1 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkWireEncodeHeartbeat-8   \t 2000\t       49.9 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Action":"run","Test":"TestSomething"}
+{"Action":"output","Output":"BenchmarkNetrtEnvelopeSend-8   \t 1000\t      210.0 ns/op\n"}
+`)
+	res, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, ok := res["BenchmarkWireEncodeHeartbeat"]
+	if !ok {
+		t.Fatalf("missing encode benchmark: %v", res)
+	}
+	if enc.Ns != 49.9 {
+		t.Fatalf("ns/op = %v, want min across samples 49.9", enc.Ns)
+	}
+	if enc.Allocs != 0 {
+		t.Fatalf("allocs/op = %v, want 0", enc.Allocs)
+	}
+	send, ok := res["BenchmarkNetrtEnvelopeSend"]
+	if !ok || send.Ns != 210 {
+		t.Fatalf("send benchmark: %+v, %v", send, ok)
+	}
+	if send.Allocs != -1 {
+		t.Fatalf("allocs without -benchmem = %v, want -1 sentinel", send.Allocs)
+	}
+}
+
+// The gates must see malformed or benchmark-free streams as empty result
+// sets (main turns that into a loud exit 2), never as a silent pass.
+func TestLoadEmptyAndMalformed(t *testing.T) {
+	for name, content := range map[string]string{
+		"empty":     "",
+		"no-bench":  `{"Action":"output","Output":"ok  \trepro/internal/wire\t0.1s\n"}`,
+		"malformed": "{{{ not json at all\nstill not a bench line\n",
+	} {
+		res, err := load(write(t, name, content))
+		if err != nil {
+			t.Fatalf("%s: load errored instead of returning empty: %v", name, err)
+		}
+		if len(res) != 0 {
+			t.Fatalf("%s: parsed phantom results %v", name, res)
+		}
+	}
+}

@@ -36,6 +36,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
+dump_logs() {
+  echo "---- coordinator log ----"
+  cat "$tmp/coord.log" 2>/dev/null || true
+  echo "---- worker 1 log ----"
+  cat "$tmp/w1.log" 2>/dev/null || true
+  echo "---- worker 2 log ----"
+  cat "$tmp/w2.log" 2>/dev/null || true
+}
+
 go build -o "$tmp/mortard" ./cmd/mortard
 for i in $(seq 0 $((PEERS - 1))); do
   echo "127.0.0.1:$((BASE_PORT + i))"
@@ -71,43 +80,54 @@ gw_ok=0
 if [ "$ok" = 1 ]; then
   if ! curl -fsS -X POST "http://$GW/v1/queries" \
       -d '{"name":"gw","op":"count","window_ms":1000,"trees":2,"bf":4}' > "$tmp/gw.log" 2>&1; then
-    echo "FAIL: HTTP install through the gateway failed"; cat "$tmp/gw.log"; exit 1
+    echo "FAIL: HTTP install through the gateway failed"; cat "$tmp/gw.log"; dump_logs; exit 1
   fi
   # Read three windows from the NDJSON stream (blocks until they arrive).
   if ! timeout 60 curl -fsS -N "http://$GW/v1/queries/gw/results?limit=3" > "$tmp/stream.log" 2>&1; then
-    echo "FAIL: result stream did not deliver"; cat "$tmp/stream.log"; exit 1
+    echo "FAIL: result stream did not deliver"; cat "$tmp/stream.log"; dump_logs; exit 1
   fi
   windows="$(grep -c '"query":"gw"' "$tmp/stream.log" || true)"
   if [ "$windows" -lt 3 ]; then
-    echo "FAIL: stream served $windows windows, want >= 3"; cat "$tmp/stream.log"; exit 1
+    echo "FAIL: stream served $windows windows, want >= 3"; cat "$tmp/stream.log"; dump_logs; exit 1
   fi
   curl -fsS -X DELETE "http://$GW/v1/queries/gw" > /dev/null
   curl -fsS -X DELETE "http://$GW/v1/queries/peers" > /dev/null
   if [ "$(curl -fsS "http://$GW/v1/queries")" != "[]" ]; then
     echo "FAIL: list endpoint not empty after removing every query"
-    curl -fsS "http://$GW/v1/queries"; exit 1
+    curl -fsS "http://$GW/v1/queries"; dump_logs; exit 1
   fi
   gw_ok=1
 fi
 
-echo "---- coordinator log ----"
-cat "$tmp/coord.log"
 if [ "$ok" != 1 ]; then
-  echo "---- worker 1 log ----"; cat "$tmp/w1.log"
-  echo "---- worker 2 log ----"; cat "$tmp/w2.log"
+  dump_logs
   echo "FAIL: coordinator never reported completeness=$PEERS"
   exit 1
 fi
+echo "---- coordinator log ----"
+cat "$tmp/coord.log"
 if ! grep -q "planned from gossiped coordinates: true" "$tmp/coord.log"; then
+  dump_logs
   echo "FAIL: planning did not use gossiped Vivaldi coordinates"
   exit 1
 fi
 # The transport summary (with the fragmentation counters) prints when the
-# coordinator's -duration elapses; wait for it before judging.
+# coordinator's -duration elapses; wait for it before judging — but
+# bounded, so a wedged coordinator fails with logs instead of hanging CI.
+deadline=$(( $(date +%s) + 120 ))
+while kill -0 "$coord" 2>/dev/null; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    dump_logs
+    echo "FAIL: coordinator still running long past its -duration"
+    exit 1
+  fi
+  sleep 2
+done
 wait "$coord" 2>/dev/null || true
 if ! grep -Eq "frag streams=[1-9]" "$tmp/coord.log"; then
   echo "---- coordinator transport summary missing fragmentation ----"
   tail -3 "$tmp/coord.log"
+  dump_logs
   echo "FAIL: coordinator never fragmented a frame — the install fit the squeezed MTU"
   exit 1
 fi

@@ -29,6 +29,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
+dump_logs() {
+  echo "---- coordinator log ----"
+  sed -n '1,120p' "$tmp/coord.log" 2>/dev/null || true
+  echo "---- worker log ----"
+  sed -n '1,60p' "$tmp/worker.log" 2>/dev/null || true
+}
+
 go build -o "$tmp/mortard" ./cmd/mortard
 "$tmp/mortard" -gen-peers-file "$tmp/peers.txt" -peers "$PEERS" \
   -peers-per-socket "$PER_SOCK" -base-port "$BASE_PORT"
@@ -63,7 +70,7 @@ done
 echo "---- coordinator log (head) ----"
 head -40 "$tmp/coord.log"
 if [ "$ok" != 1 ]; then
-  echo "---- worker log ----"; head -40 "$tmp/worker.log"
+  dump_logs
   if grep -Eq "completeness=[1-9]" "$tmp/coord.log"; then
     echo "FAIL: completeness stayed partial: $(grep -Eo 'completeness=[0-9]+' "$tmp/coord.log" | sort -t= -k2 -n | tail -1)"
   else
@@ -72,11 +79,22 @@ if [ "$ok" != 1 ]; then
   exit 1
 fi
 # The transport summary prints when the coordinator's -duration elapses;
-# wait for it so the coalescing counters can be judged.
+# wait for it so the coalescing counters can be judged — but bounded: a
+# wedged coordinator must fail with logs, not hang CI.
+deadline=$(( $(date +%s) + 120 ))
+while kill -0 "$coord" 2>/dev/null; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    dump_logs
+    echo "FAIL: coordinator still running long past its -duration"
+    exit 1
+  fi
+  sleep 2
+done
 wait "$coord" 2>/dev/null || true
 echo "---- coordinator transport summary ----"
 tail -6 "$tmp/coord.log"
 if ! grep -Eq "sockets=[0-9]+ datagrams=[0-9]+ trains=[1-9]" "$tmp/coord.log"; then
+  dump_logs
   echo "FAIL: coordinator sent no coalesced trains with -coalesce on"
   exit 1
 fi
