@@ -79,6 +79,7 @@ import (
 	"repro/internal/eventsim"
 	"repro/internal/federation"
 	"repro/internal/gateway"
+	"repro/internal/mortar"
 	"repro/internal/msl"
 	"repro/internal/netem"
 	"repro/internal/runtime/livert"
@@ -331,6 +332,7 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
 		return tuple.Raw{Vals: []float64{1}}
 	}, rng)
+	stopSampler := startDataPathSampler(fed.Fab)
 
 	// The fabric is the live backend's injector: single process, so every
 	// peer is local and the transport gates resolve in-process.
@@ -362,6 +364,48 @@ func runLive(prog *msl.Program, rng *rand.Rand, peers int, duration time.Duratio
 		sent, delivered, dropped, duplicated, fed.Fab.Stats.EpochsRetired.Load())
 	fmt.Printf("# fabric bytes: ctl=%d data=%d shared_ctl=%d\n",
 		fed.Fab.Stats.ControlBytes.Load(), fed.Fab.Stats.DataBytes.Load(), fed.Fab.Stats.SharedCtlBytes.Load())
+	printDataPathStats(fed.Fab, stopSampler())
+}
+
+// startDataPathSampler samples the fabric's tuple-ingest counter once a
+// second and returns a stop function reporting the peak one-second rate —
+// the run's best sustained ingest throughput. The returned function must be
+// called exactly once, before printing the run summary.
+func startDataPathSampler(fab *mortar.Fabric) func() float64 {
+	done := make(chan struct{})
+	peak := make(chan uint64, 1)
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		last := fab.Stats.TuplesIngested.Load()
+		var best uint64
+		for {
+			select {
+			case <-done:
+				peak <- best
+				return
+			case <-tick.C:
+				cur := fab.Stats.TuplesIngested.Load()
+				if d := cur - last; d > best {
+					best = d
+				}
+				last = cur
+			}
+		}
+	}()
+	return func() float64 {
+		close(done)
+		return float64(<-peak)
+	}
+}
+
+// printDataPathStats emits the data-plane summary line: tuples ingested,
+// the mailbox hops that carried them (their ratio is the batching factor),
+// time-space list activity, and the peak sustained ingest rate.
+func printDataPathStats(fab *mortar.Fabric, peakRate float64) {
+	fmt.Printf("# data path: tuples=%d batches=%d ts_inserts=%d ts_merges=%d peak_rate=%.0f tuples/s\n",
+		fab.Stats.TuplesIngested.Load(), fab.Stats.IngestBatches.Load(),
+		fab.DataPath.Inserts.Load(), fab.DataPath.Merges.Load(), peakRate)
 }
 
 // startReplanMonitor arms drift-triggered live replanning, logging every
@@ -467,6 +511,7 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	fed.StartSensors(time.Second, func(peer int) tuple.Raw {
 		return tuple.Raw{Vals: []float64{1}}
 	}, rng)
+	stopSampler := startDataPathSampler(fed.Fab)
 	// The runtime is the injector: its locality filter gates only the
 	// peers this process hosts, while workers replay the same schedule
 	// over theirs.
@@ -494,6 +539,7 @@ func runNet(prog *msl.Program, rng *rand.Rand, peersFile, hostSpec, listen, join
 	fmt.Printf("# udp class bytes: ctl=%d data=%d (fabric ctl=%d data=%d shared_ctl=%d)\n",
 		wctl, wdata,
 		fed.Fab.Stats.ControlBytes.Load(), fed.Fab.Stats.DataBytes.Load(), fed.Fab.Stats.SharedCtlBytes.Load())
+	printDataPathStats(fed.Fab, stopSampler())
 	var ms goruntime.MemStats
 	goruntime.ReadMemStats(&ms)
 	fmt.Printf("# memstats: heap_alloc=%dKiB total_alloc=%dKiB mallocs=%d gc=%d\n",

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/plan"
 	"repro/internal/runtime"
+	"repro/internal/tslist"
 	"repro/internal/tuple"
 	"repro/internal/vclock"
 	"repro/internal/vivaldi"
@@ -202,6 +203,12 @@ type Stats struct {
 	// remainder of ControlBytes is attributable to individual queries (see
 	// Fabric.QueryTraffic).
 	SharedCtlBytes atomic.Uint64
+	// TuplesIngested counts raw sensor tuples fed into local peers via
+	// Inject/InjectBatch; IngestBatches counts the mailbox hops that
+	// carried them (an Inject is a batch of one). Their ratio is the
+	// data-plane batching factor.
+	TuplesIngested atomic.Uint64
+	IngestBatches  atomic.Uint64
 }
 
 // QueryTraffic counts the bytes the local peers have transmitted on behalf
@@ -237,6 +244,15 @@ type Fabric struct {
 	OnResult func(Result)
 	// Stats holds fabric-wide counters.
 	Stats Stats
+	// DataPath aggregates time-space list activity (inserts and in-place
+	// merges) across every local instance; one shared atomic counter set
+	// keeps the per-merge cost to two atomic adds.
+	DataPath tslist.Counters
+
+	// consumesBytes records whether the transport copies Frame.Bytes
+	// inside Send (runtime.FrameBytesConsumer), letting send recycle its
+	// encode buffer and frame immediately.
+	consumesBytes bool
 
 	subMu  sync.RWMutex
 	subs   []subEntry
@@ -247,6 +263,13 @@ type Fabric struct {
 	// lookup or insert.
 	trafMu    sync.RWMutex
 	queryTraf map[string]*QueryTraffic
+
+	// batchMu guards batchFree, the fabric's pool of raw-tuple batch
+	// slices: drivers draw from it with GetRawBatch and injectRawBatch
+	// recycles every submitted batch once its tuples are absorbed, so a
+	// steady-state ingest driver allocates nothing per batch.
+	batchMu   sync.Mutex
+	batchFree [][]tuple.Raw
 }
 
 // subEntry is one registered result subscriber; the id makes the
@@ -295,6 +318,9 @@ func NewFabric(rt runtime.Runtime, clocks []vclock.Clock, cfg Config) (*Fabric, 
 		queryTraf: map[string]*QueryTraffic{},
 	}
 	f.measure, _ = f.tr.(pairMeasurer)
+	if bc, ok := f.tr.(runtime.FrameBytesConsumer); ok {
+		f.consumesBytes = bc.ConsumesFrameBytes()
+	}
 	vr, _ := rt.(vivaldiRuntime)
 	for i := 0; i < n; i++ {
 		ck := vclock.Perfect()
@@ -345,20 +371,93 @@ func (f *Fabric) Inject(peer int, raw tuple.Raw) {
 	f.Rt.Exec(peer, func() { f.peers[peer].injectRaw(raw) })
 }
 
+// InjectBatch delivers a batch of raw sensor tuples to one peer in a
+// single execution hop: one mailbox post and one lock acquisition on the
+// live backends, however many tuples the batch carries — the data-plane
+// ingest fast path. Ownership of the slice transfers permanently: once the
+// peer has absorbed the tuples the slice is recycled into the fabric's
+// batch pool for the next GetRawBatch, so the caller must never touch a
+// submitted slice again. An out-of-range peer panics, like Inject.
+func (f *Fabric) InjectBatch(peer int, raws []tuple.Raw) {
+	if peer < 0 || peer >= len(f.peers) {
+		panic(fmt.Sprintf("mortar: InjectBatch peer %d out of range [0,%d)", peer, len(f.peers)))
+	}
+	if len(raws) == 0 {
+		return
+	}
+	f.Rt.Exec(peer, func() { f.peers[peer].injectRawBatch(raws) })
+}
+
+// maxFreeBatches bounds the batch pool; beyond it, retired batches fall to
+// the garbage collector.
+const maxFreeBatches = 64
+
+// GetRawBatch returns a zero-length batch with capacity for at least n
+// raws, reusing a slice recycled by an earlier InjectBatch when one is
+// available. Pooled batches are not cleared — they are meant to be filled
+// by appending before submission. Using GetRawBatch makes a steady-state
+// ingest driver allocation-free per batch; plain make works too, at one
+// slice allocation (and its eventual GC scan) per batch.
+func (f *Fabric) GetRawBatch(n int) []tuple.Raw {
+	f.batchMu.Lock()
+	for len(f.batchFree) > 0 {
+		b := f.batchFree[len(f.batchFree)-1]
+		f.batchFree = f.batchFree[:len(f.batchFree)-1]
+		if cap(b) >= n {
+			f.batchMu.Unlock()
+			return b
+		}
+		// Too small for this request; drop it rather than let undersized
+		// slices cycle forever.
+	}
+	f.batchMu.Unlock()
+	return make([]tuple.Raw, 0, n)
+}
+
+// putRawBatch recycles an absorbed batch slice. Called from the peer's
+// serialization domain after injectRawBatch copied every tuple out.
+func (f *Fabric) putRawBatch(b []tuple.Raw) {
+	f.batchMu.Lock()
+	if len(f.batchFree) < maxFreeBatches {
+		f.batchFree = append(f.batchFree, b[:0])
+	}
+	f.batchMu.Unlock()
+}
+
+// framePool recycles the runtime.Frame envelopes handed to transports that
+// consume them synchronously (runtime.FrameBytesConsumer).
+var framePool = sync.Pool{New: func() any { return new(runtime.Frame) }}
+
 // send transmits a control or data message between peers over the runtime
-// transport. The message is encoded exactly once here: the encoded length
-// is the size every backend charges, and the bytes travel alongside the
-// decoded payload (runtime.Frame) so socket backends transmit them without
-// re-encoding. A message the codec cannot represent is dropped — an
-// unencodable message could never cross a real wire.
+// transport. The message is encoded exactly once here, into a pooled
+// buffer: the encoded length is the size every backend charges, and on
+// socket backends the bytes travel alongside the decoded payload
+// (runtime.Frame) to be transmitted without re-encoding. Transports that
+// consume the frame synchronously get a pooled frame too, making the
+// steady-state transmit path allocation-free on the fabric side;
+// in-process backends retain the frame in the receiver's mailbox (payload
+// only — the encoding existed just to size the message), so they get a
+// fresh frame with nil Bytes and the buffer still recycles immediately. A
+// message the codec cannot represent is dropped — an unencodable message
+// could never cross a real wire.
 func (f *Fabric) send(from, to int, class runtime.Class, payload any) {
-	var w wire.Buffer
-	if err := wire.EncodeMessage(&w, payload); err != nil {
+	w := wire.GetBuffer()
+	if err := wire.EncodeMessage(w, payload); err != nil {
+		wire.PutBuffer(w)
 		f.Stats.Dropped.Add(1)
 		return
 	}
 	f.account(payload, class, w.Len())
-	f.tr.Send(from, to, class, w.Len(), &runtime.Frame{Payload: payload, Bytes: w.Bytes()})
+	if f.consumesBytes {
+		fr := framePool.Get().(*runtime.Frame)
+		fr.Payload, fr.Bytes = payload, w.Bytes()
+		f.tr.Send(from, to, class, w.Len(), fr)
+		fr.Payload, fr.Bytes = nil, nil
+		framePool.Put(fr)
+	} else {
+		f.tr.Send(from, to, class, w.Len(), &runtime.Frame{Payload: payload})
+	}
+	wire.PutBuffer(w)
 }
 
 // account attributes one transmitted message's encoded bytes: data bytes

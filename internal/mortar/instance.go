@@ -24,6 +24,9 @@ type instance struct {
 	// adopted via reconciliation fetch it from the root topology service).
 	nb    neighbors
 	wired bool
+	// own caches ownLevels' vector, recomputed on (re)wire; read-only to
+	// callers.
+	own []int16
 
 	// draining marks an instance retired by an epoch-scoped removal: it
 	// opens no new local windows but keeps merging, evicting, and routing
@@ -103,7 +106,17 @@ func (p *Peer) newInstance(meta QueryMeta) (*instance, error) {
 	if f, ok := op.(ops.Finalizer); ok {
 		inst.fin = f
 	}
-	inst.ts = tslist.New(ops.CombineNilAware(op))
+	// Time windows always produce slide-aligned indices, so TS-list
+	// entries never split and no value is ever shared between entries —
+	// the precondition for folding summaries into the entry's value in
+	// place. Tuple windows split unaligned intervals (cloneInterval shares
+	// the value), so they keep the copying combiner.
+	if meta.Window.Kind == tuple.TimeWindow {
+		inst.ts = tslist.New(ops.CombineInPlaceNilAware(op))
+	} else {
+		inst.ts = tslist.New(ops.CombineNilAware(op))
+	}
+	inst.ts.SetCounters(&p.fab.DataPath)
 	if p.fab.Cfg.Syncless {
 		// t_ref begins at the age of the install message: the operator
 		// pretends it started when the query was issued (§5.1).
@@ -255,25 +268,59 @@ func (inst *instance) scheduleSlide() {
 // never dips (make-before-break). Draining instances open no new windows
 // and take no raws.
 func (p *Peer) injectRaw(raw tuple.Raw) {
+	p.fab.Stats.TuplesIngested.Add(1)
+	p.fab.Stats.IngestBatches.Add(1)
+	for _, inst := range p.insts {
+		inst.takeRaw(raw)
+	}
+}
+
+// injectRawBatch feeds a batch of raw tuples into every matching local
+// operator. The instance loop is outermost so the per-batch cost — the
+// instance-map walk, the frame-clock read, the filter checks' branch
+// history — is paid once per instance, not once per tuple. The batch slice
+// is recycled into the fabric pool once every instance has absorbed it.
+func (p *Peer) injectRawBatch(raws []tuple.Raw) {
+	p.fab.Stats.TuplesIngested.Add(uint64(len(raws)))
+	p.fab.Stats.IngestBatches.Add(1)
 	for _, inst := range p.insts {
 		if inst.draining {
 			continue
 		}
-		if inst.meta.FilterKey != "" && raw.Key != inst.meta.FilterKey {
-			continue // the select stage (§7.4) drops non-matching tuples
+		at := inst.frameNow() // one clock read per batch: the tuples arrived together
+		for _, raw := range raws {
+			inst.takeRawAt(raw, at)
 		}
-		r := raw
-		if r.SubKey != "" {
-			r.Key = r.SubKey // select consumed the match key; group by sub-key
-		}
-		r.At = inst.frameNow()
-		inst.win.Merge(r)
-		inst.raws = append(inst.raws, r)
-		inst.rawInSlide = true
-		inst.everRaw = true
-		if inst.meta.Window.Kind == tuple.TupleWindow {
-			inst.tupleArrived()
-		}
+	}
+	p.fab.putRawBatch(raws)
+}
+
+// takeRaw feeds one raw tuple into one instance (the shared per-tuple half
+// of injectRaw/injectRawBatch).
+func (inst *instance) takeRaw(raw tuple.Raw) {
+	inst.takeRawAt(raw, inst.frameNow())
+}
+
+// takeRawAt is takeRaw with the arrival frame time supplied by the caller,
+// letting the batch path stamp a whole batch with one clock read.
+func (inst *instance) takeRawAt(raw tuple.Raw, at time.Duration) {
+	if inst.draining {
+		return
+	}
+	if inst.meta.FilterKey != "" && raw.Key != inst.meta.FilterKey {
+		return // the select stage (§7.4) drops non-matching tuples
+	}
+	r := raw
+	if r.SubKey != "" {
+		r.Key = r.SubKey // select consumed the match key; group by sub-key
+	}
+	r.At = at
+	inst.win.Merge(r)
+	inst.raws = append(inst.raws, r)
+	inst.rawInSlide = true
+	inst.everRaw = true
+	if inst.meta.Window.Kind == tuple.TupleWindow {
+		inst.tupleArrived()
 	}
 }
 
@@ -368,13 +415,18 @@ func (inst *instance) absorb(s tuple.Summary) {
 }
 
 // ownLevels is this operator's level on each tree, the starting routing
-// history for newly created tuples.
-func (inst *instance) ownLevels() []int16 {
-	out := make([]int16, len(inst.nb.Levels))
-	for i, l := range inst.nb.Levels {
-		out[i] = int16(l)
+// history for newly created tuples. The returned vector is the cached copy
+// built at wiring time: callers must not mutate it (they merge it into
+// vectors they own via tuple.MergeLevelsInto).
+func (inst *instance) ownLevels() []int16 { return inst.own }
+
+// cacheOwnLevels rebuilds the cached level vector from the current tree
+// position; called whenever the instance is (re)wired.
+func (inst *instance) cacheOwnLevels() {
+	inst.own = inst.own[:0]
+	for _, l := range inst.nb.Levels {
+		inst.own = append(inst.own, int16(l))
 	}
-	return out
 }
 
 // timeoutFor computes the dynamic timeout for a newly opened entry. For
@@ -487,6 +539,9 @@ func (inst *instance) evictExpired() {
 		} else {
 			inst.routeNew(s)
 		}
+		// The summary took its own Levels clone and the value travels on
+		// by reference; the entry shell goes back to the list's pool.
+		inst.ts.Recycle(e)
 	}
 	inst.armEvict()
 }
@@ -634,6 +689,10 @@ func (p *Peer) handleSummary(src int, env *envelope) {
 		// without bound. Stragglers keep moving; only the root waits for
 		// them.
 		p.fab.Stats.Relayed.Add(1)
+		// Clone before forward mutates the vector: an in-process transport
+		// that duplicates delivery hands the same envelope (and Levels
+		// array) to this handler twice.
+		s.Levels = append([]int16(nil), s.Levels...)
 		inst.forward(s, env.Tree, env.TTLDown)
 		return
 	}
@@ -651,7 +710,9 @@ func (inst *instance) routeNew(s tuple.Summary) {
 		inst.peer.fab.Stats.Dropped.Add(1)
 		return
 	}
-	s.Levels = tuple.MergeLevels(s.Levels, inst.ownLevels())
+	// s.Levels is caller-owned (cloned at eviction or freshly decoded), so
+	// the routing constraint folds in place.
+	s.Levels = tuple.MergeLevelsInto(s.Levels, inst.ownLevels())
 	d := len(inst.nb.Parents)
 	if inst.peer.fab.Cfg.MaxStage == 1 {
 		// Ablation: stage 1 alone cannot migrate stripes — the tuple uses
@@ -694,7 +755,7 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 		inst.peer.fab.Stats.Dropped.Add(1)
 		return
 	}
-	s.Levels = tuple.MergeLevels(s.Levels, inst.ownLevels())
+	s.Levels = tuple.MergeLevelsInto(s.Levels, inst.ownLevels())
 	nb := &inst.nb
 	d := len(nb.Parents)
 	tl := func(t int) int {

@@ -213,6 +213,7 @@ func (p *Peer) installLocal(meta QueryMeta, nb *neighbors, def *QueryDef) {
 func (inst *instance) wire(nb neighbors) {
 	inst.nb = nb
 	inst.wired = true
+	inst.cacheOwnLevels()
 	p := inst.peer
 	for _, pa := range nb.Parents {
 		if pa >= 0 {

@@ -18,6 +18,9 @@ func (Hist) NewWindow() Window { return &histWindow{counts: map[string]float64{}
 // Combine implements Operator.
 func (Hist) Combine(a, b tuple.Value) tuple.Value { return Entropy{}.Combine(a, b) }
 
+// CombineInto implements InPlaceCombiner.
+func (Hist) CombineInto(a, b tuple.Value) tuple.Value { return Entropy{}.CombineInto(a, b) }
+
 func init() {
 	Register("hist", func(args []string) (Operator, error) { return Hist{}, nil })
 }

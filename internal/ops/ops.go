@@ -64,6 +64,36 @@ func CombineNilAware(op Operator) func(a, b tuple.Value) tuple.Value {
 	}
 }
 
+// InPlaceCombiner is implemented by operators whose Combine can fold b
+// into a's storage, returning a (same boxed value) instead of allocating a
+// fresh one. CombineInto must leave b unmodified and must be equivalent to
+// Combine(a, b) in result. Callers must hold exclusive ownership of a.
+type InPlaceCombiner interface {
+	CombineInto(a, b tuple.Value) tuple.Value
+}
+
+// CombineInPlaceNilAware returns a nil-aware combiner that folds b into
+// a's storage when the operator supports it, falling back to the copying
+// CombineNilAware otherwise. Only use it where the destination value is
+// exclusively owned: in the time-space list that holds for time-window
+// operators, whose slide-aligned indices mean entries never split, so no
+// value is ever shared between entries.
+func CombineInPlaceNilAware(op Operator) func(a, b tuple.Value) tuple.Value {
+	ip, ok := op.(InPlaceCombiner)
+	if !ok {
+		return CombineNilAware(op)
+	}
+	return func(a, b tuple.Value) tuple.Value {
+		if a == nil {
+			return b
+		}
+		if b == nil {
+			return a
+		}
+		return ip.CombineInto(a, b)
+	}
+}
+
 func field(t tuple.Raw, i int) float64 {
 	if i < len(t.Vals) {
 		return t.Vals[i]
@@ -197,6 +227,16 @@ func (a Avg) NewWindow() Window { return &avgWindow{field: a.Field} }
 func (Avg) Combine(a, b tuple.Value) tuple.Value {
 	x, y := a.([]float64), b.([]float64)
 	return []float64{x[0] + y[0], x[1] + y[1]}
+}
+
+// CombineInto implements InPlaceCombiner: the [sum, count] pair
+// accumulates into a's storage. Returning a (not the unboxed slice) keeps
+// the path allocation-free — re-boxing a slice header allocates.
+func (Avg) CombineInto(a, b tuple.Value) tuple.Value {
+	x, y := a.([]float64), b.([]float64)
+	x[0] += y[0]
+	x[1] += y[1]
+	return a
 }
 
 // Finalize implements Finalizer.
@@ -394,6 +434,17 @@ func (Entropy) Combine(a, b tuple.Value) tuple.Value {
 	return out
 }
 
+// CombineInto implements InPlaceCombiner: b's histogram folds into a's map
+// (maps are pointer-shaped, so returning a is allocation-free; the map
+// only grows when b carries unseen keys).
+func (Entropy) CombineInto(a, b tuple.Value) tuple.Value {
+	x := a.(map[string]float64)
+	for k, v := range b.(map[string]float64) {
+		x[k] += v
+	}
+	return a
+}
+
 // Finalize implements Finalizer: Shannon entropy of the histogram, in bits.
 func (Entropy) Finalize(v tuple.Value) tuple.Value {
 	h := v.(map[string]float64)
@@ -468,6 +519,17 @@ func (b Bloom) Combine(a, c tuple.Value) tuple.Value {
 		}
 	}
 	return out
+}
+
+// CombineInto implements InPlaceCombiner: c's filter ORs into a's words.
+func (b Bloom) CombineInto(a, c tuple.Value) tuple.Value {
+	x := a.([]uint64)
+	for i, w := range c.([]uint64) {
+		if i < len(x) {
+			x[i] |= w
+		}
+	}
+	return a
 }
 
 // Contains tests membership of key in an aggregated filter value.

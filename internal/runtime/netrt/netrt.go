@@ -919,6 +919,14 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 	return true
 }
 
+var _ runtime.FrameBytesConsumer = (*Runtime)(nil)
+
+// ConsumesFrameBytes implements runtime.FrameBytesConsumer: Send copies a
+// Frame's Bytes into its own pooled buffer synchronously, so the sender
+// may recycle the frame and the array backing its Bytes the moment Send
+// returns.
+func (r *Runtime) ConsumesFrameBytes() bool { return true }
+
 // sendFragmented splits an over-MTU frame into a fragment train, registers
 // it with the sender's retransmit buffer, and submits every fragment to
 // the paced writer.

@@ -76,13 +76,25 @@ type Handler func(from int, payload any, size int)
 
 // Frame pairs a message's decoded form with its wire encoding. The sender
 // encodes each message exactly once; in-process transports pass the Frame
-// through (receivers use Payload), while socket transports (runtime/netrt)
-// transmit Bytes verbatim and deliver the re-decoded payload on the far
-// side. Size accounting always uses len(Bytes), so the emulator's network
-// load numbers match what a deployed system would put on the wire.
+// through (receivers use Payload; Bytes may be nil there), while socket
+// transports (runtime/netrt) transmit Bytes verbatim and deliver the
+// re-decoded payload on the far side. Size accounting always uses the
+// encoded length, so the emulator's network load numbers match what a
+// deployed system would put on the wire.
 type Frame struct {
 	Payload any
 	Bytes   []byte
+}
+
+// FrameBytesConsumer is implemented by transports that consume Frame.Bytes
+// synchronously inside Send — copying them onto their own wire path before
+// returning. When ConsumesFrameBytes reports true, the sender may recycle
+// both the *Frame and the array backing Frame.Bytes as soon as Send
+// returns; the transport retains neither. Senders must not recycle frames
+// handed to transports without this capability: in-process backends hold
+// the Frame in the receiver's mailbox until delivery.
+type FrameBytesConsumer interface {
+	ConsumesFrameBytes() bool
 }
 
 // Locality is implemented by runtimes that host only a subset of the

@@ -9,6 +9,7 @@ package tslist
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/tuple"
@@ -17,6 +18,17 @@ import (
 // Combine merges two operator values for the same interval. It must treat a
 // nil operand as the identity (boundary tuples carry no value).
 type Combine func(a, b tuple.Value) tuple.Value
+
+// Counters aggregates data-path statistics across lists. The fields are
+// atomic so one counter set can be shared by every instance of a fabric
+// while each list mutates it from its own peer's execution context.
+type Counters struct {
+	// Inserts counts summaries inserted (one per non-empty Insert call).
+	Inserts atomic.Uint64
+	// Merges counts in-place merges with an existing entry — the
+	// time-space consolidation the paper's §4.2 is about.
+	Merges atomic.Uint64
+}
 
 // Entry is one summary tuple held by the list.
 type Entry struct {
@@ -59,15 +71,30 @@ func (e *Entry) Constituents() int { return e.n }
 
 // List is a time-space list. It is a pure data structure: the owning
 // operator runtime drives insertion, deadline computation, and eviction.
+// A list is confined to one peer's execution context and recycles Entry
+// storage through a free list, so the steady-state merge path (exact-index
+// Insert into an existing entry) performs no allocation.
 type List struct {
 	combine Combine
 	entries []*Entry // sorted by Index.TB, non-overlapping
+	free    []*Entry // recycled entries, reused by newEntry/cloneInterval
+	created []*Entry // scratch backing Insert's return value
+	popped  []*Entry // scratch backing PopExpired's return value
+	ctr     *Counters
 }
+
+// maxFree bounds the per-list free list so a burst of splits doesn't pin
+// entry storage forever.
+const maxFree = 256
 
 // New returns an empty list using the given value combiner.
 func New(combine Combine) *List {
 	return &List{combine: combine}
 }
+
+// SetCounters points the list at a (possibly shared) counter set; nil
+// disables counting.
+func (l *List) SetCounters(c *Counters) { l.ctr = c }
 
 // Len returns the number of entries.
 func (l *List) Len() int { return len(l.entries) }
@@ -76,14 +103,50 @@ func (l *List) Len() int { return len(l.entries) }
 // callers must not mutate it.
 func (l *List) Entries() []*Entry { return l.entries }
 
+// Recycle returns an entry previously removed by PopExpired or PopAll to
+// the list's free pool. The caller must be done with the entry (and must
+// not recycle it twice); its Levels backing array is retained for reuse
+// but Value is dropped.
+func (l *List) Recycle(e *Entry) {
+	if e == nil || len(l.free) >= maxFree {
+		return
+	}
+	e.Value = nil
+	l.free = append(l.free, e)
+}
+
+// take pops a recycled entry, or allocates when the pool is dry.
+func (l *List) take() *Entry {
+	if n := len(l.free); n > 0 {
+		e := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		return e
+	}
+	return &Entry{}
+}
+
+// reuseLevels copies src into buf's backing array, preserving src == nil
+// (nil means "no routing constraint" and must not become an empty vector).
+func reuseLevels(buf, src []int16) []int16 {
+	if src == nil {
+		return nil
+	}
+	return append(buf[:0], src...)
+}
+
 // Insert merges a summary arriving at local time now, whose deadline (if it
 // creates new entries) is dl. It returns the entries that are new since the
-// call began (so the runtime can schedule eviction timers).
+// call began (so the runtime can schedule eviction timers); the returned
+// slice is scratch storage valid only until the next Insert.
 func (l *List) Insert(s tuple.Summary, now, dl time.Duration) []*Entry {
 	if s.Index.Empty() {
 		return nil
 	}
-	var created []*Entry
+	if l.ctr != nil {
+		l.ctr.Inserts.Add(1)
+	}
+	created := l.created[:0]
 	cur := s.Index
 	i := 0
 	for cur.TB < cur.TE {
@@ -110,7 +173,7 @@ func (l *List) Insert(s tuple.Summary, now, dl time.Duration) []*Entry {
 		}
 		// cur.TB is inside ex. Split ex's leading non-overlap off.
 		if ex.Index.TB < cur.TB {
-			lead := ex.cloneInterval(tuple.Index{TB: ex.Index.TB, TE: cur.TB})
+			lead := l.cloneInterval(ex, tuple.Index{TB: ex.Index.TB, TE: cur.TB})
 			ex.Index.TB = cur.TB
 			l.insertAt(i, lead)
 			i++
@@ -119,7 +182,7 @@ func (l *List) Insert(s tuple.Summary, now, dl time.Duration) []*Entry {
 		// merge of the two; the non-overlapping tails retain their values.
 		ov := ex.Index.Intersect(cur)
 		if ex.Index.TE > ov.TE {
-			tail := ex.cloneInterval(tuple.Index{TB: ov.TE, TE: ex.Index.TE})
+			tail := l.cloneInterval(ex, tuple.Index{TB: ov.TE, TE: ex.Index.TE})
 			ex.Index.TE = ov.TE
 			l.insertAt(i+1, tail)
 		}
@@ -127,11 +190,13 @@ func (l *List) Insert(s tuple.Summary, now, dl time.Duration) []*Entry {
 		cur.TB = ov.TE
 		i++
 	}
+	l.created = created
 	return created
 }
 
 func (l *List) newEntry(idx tuple.Index, s tuple.Summary, now, dl time.Duration) *Entry {
-	e := &Entry{
+	e := l.take()
+	*e = Entry{
 		Index:    idx,
 		Count:    s.Count,
 		Boundary: s.Boundary,
@@ -139,7 +204,7 @@ func (l *List) newEntry(idx tuple.Index, s tuple.Summary, now, dl time.Duration)
 		n:        1,
 		Deadline: dl,
 		HopMax:   s.Hops,
-		Levels:   append([]int16(nil), s.Levels...),
+		Levels:   reuseLevels(e.Levels, s.Levels),
 	}
 	if !s.Boundary {
 		e.Value = s.Value
@@ -149,9 +214,14 @@ func (l *List) newEntry(idx tuple.Index, s tuple.Summary, now, dl time.Duration)
 
 // cloneInterval copies an entry's value bookkeeping onto a sub-interval:
 // non-overlapping regions "retain their initial values and shrink their
-// intervals" (§4.2).
-func (e *Entry) cloneInterval(idx tuple.Index) *Entry {
-	return &Entry{
+// intervals" (§4.2). Note the Value is shared between the clone and the
+// original — combine must therefore never mutate its operands (in-place
+// combiners are only safe where intervals never split; see CombineInPlace
+// in internal/ops).
+func (l *List) cloneInterval(e *Entry, idx tuple.Index) *Entry {
+	c := l.take()
+	lv := reuseLevels(c.Levels, e.Levels)
+	*c = Entry{
 		Index:    idx,
 		Value:    e.Value,
 		Count:    e.Count,
@@ -160,8 +230,9 @@ func (e *Entry) cloneInterval(idx tuple.Index) *Entry {
 		n:        e.n,
 		Deadline: e.Deadline,
 		HopMax:   e.HopMax,
-		Levels:   append([]int16(nil), e.Levels...),
+		Levels:   lv,
 	}
+	return c
 }
 
 func (l *List) mergeInto(e *Entry, s tuple.Summary, now time.Duration) {
@@ -179,7 +250,12 @@ func (l *List) mergeInto(e *Entry, s tuple.Summary, now time.Duration) {
 	if s.Hops > e.HopMax {
 		e.HopMax = s.Hops
 	}
-	e.Levels = tuple.MergeLevels(e.Levels, s.Levels)
+	// The entry owns its Levels storage (newEntry/cloneInterval copy), so
+	// the routing history folds in place.
+	e.Levels = tuple.MergeLevelsInto(e.Levels, s.Levels)
+	if l.ctr != nil {
+		l.ctr.Merges.Add(1)
+	}
 }
 
 func (l *List) insertAt(i int, e *Entry) {
@@ -209,9 +285,11 @@ func (l *List) ExtendLast(tb, te time.Duration) bool {
 }
 
 // PopExpired removes and returns (in index order) all entries whose
-// deadline has passed as of local time now.
+// deadline has passed as of local time now. The returned slice is scratch
+// storage valid only until the next PopExpired; callers should Recycle the
+// popped entries once done with them.
 func (l *List) PopExpired(now time.Duration) []*Entry {
-	var out []*Entry
+	out := l.popped[:0]
 	kept := l.entries[:0]
 	for _, e := range l.entries {
 		if e.Deadline <= now {
@@ -220,7 +298,13 @@ func (l *List) PopExpired(now time.Duration) []*Entry {
 			kept = append(kept, e)
 		}
 	}
+	// Drop the stale tail references so kept-capacity reuse doesn't pin
+	// popped entries.
+	for i := len(kept); i < len(l.entries); i++ {
+		l.entries[i] = nil
+	}
 	l.entries = kept
+	l.popped = out
 	return out
 }
 

@@ -108,24 +108,37 @@ type Summary struct {
 
 // MergeLevels returns the element-wise minimum of two level vectors,
 // treating -1 (never visited) as no constraint. Merged tuples inherit the
-// most conservative history of their constituents.
+// most conservative history of their constituents. Neither input is
+// mutated; callers that own the destination should use MergeLevelsInto.
 func MergeLevels(a, b []int16) []int16 {
 	if a == nil {
 		return append([]int16(nil), b...)
 	}
-	out := append([]int16(nil), a...)
-	for i := range out {
-		if i >= len(b) {
-			break
-		}
+	return MergeLevelsInto(append([]int16(nil), a...), b)
+}
+
+// MergeLevelsInto merges b into dst in place and returns dst, allocating
+// only when dst is nil (it then clones b, since b stays caller-owned).
+// This is the hot-path variant for callers that own dst — the TS-list
+// merge and the per-hop routing constraint both fold vectors into storage
+// they already hold.
+func MergeLevelsInto(dst, b []int16) []int16 {
+	if dst == nil {
+		return append([]int16(nil), b...)
+	}
+	n := len(dst)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
 		switch {
-		case out[i] < 0:
-			out[i] = b[i]
-		case b[i] >= 0 && b[i] < out[i]:
-			out[i] = b[i]
+		case dst[i] < 0:
+			dst[i] = b[i]
+		case b[i] >= 0 && b[i] < dst[i]:
+			dst[i] = b[i]
 		}
 	}
-	return out
+	return dst
 }
 
 // WindowKind distinguishes time windows from tuple (count) windows.

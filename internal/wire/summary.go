@@ -25,9 +25,11 @@ func EncodeSummary(w *Buffer, s tuple.Summary, ttlDown uint8) error {
 	return nil
 }
 
-// DecodeSummary reads a summary encoded by EncodeSummary.
+// DecodeSummary reads a summary encoded by EncodeSummary. The query name
+// is interned: every envelope of a query carries the same few names, so
+// steady-state decode performs no string allocation for them.
 func DecodeSummary(r *Reader) (s tuple.Summary, ttlDown uint8, err error) {
-	if s.Query, err = r.String(); err != nil {
+	if s.Query, err = r.InternedString(); err != nil {
 		return
 	}
 	if s.Index.TB, err = r.Duration(); err != nil {

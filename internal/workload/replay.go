@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// BatchSink receives one batch of raw tuples for one peer;
+// mortar.(*Fabric).InjectBatch fits directly. Ownership of the slice
+// passes to the sink — the driver never touches a submitted batch again.
+type BatchSink func(peer int, raws []tuple.Raw)
+
+// Replay paces raw-tuple injection against a live federation at a target
+// aggregate rate, round-robin across peers in batches: the trace-replay
+// half of the LoGS-style high-rate many-source workload. Unlike Periodic
+// (one simulator ticker per peer), Replay is a single wall-clock pacing
+// loop built for rates far beyond one tuple per peer per second.
+type Replay struct {
+	// Peers are fed round-robin; every batch goes to one peer.
+	Peers []int
+	// Rate is the target aggregate injection rate in tuples/second
+	// across all peers.
+	Rate float64
+	// Batch caps tuples per injection (default 64): one mailbox hop and
+	// one lock acquisition per Batch tuples on the live runtimes.
+	Batch int
+	// Gen produces the raw tuple for a peer. The default emits a shared
+	// one-element Vals of {1} (the §7.2 microbenchmark sensor). Generated
+	// Raws may share backing arrays — sinks treat tuples as immutable.
+	Gen func(peer int) tuple.Raw
+	// NewBatch supplies the empty slice each batch is appended into
+	// (default: a fresh make per batch). Sinks that recycle absorbed
+	// batches expose their pool here — mortar.(*Fabric).GetRawBatch paired
+	// with InjectBatch makes the replay loop allocation-free per batch.
+	NewBatch func(n int) []tuple.Raw
+	// Now and Sleep default to time.Now and time.Sleep; tests substitute
+	// a fake clock to exercise the pacing loop deterministically.
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// Run replays for duration d, returning the tuples injected and the
+// achieved aggregate rate. The loop runs token accounting against the
+// clock — inject when behind the rate line, sleep briefly when ahead — so
+// the achieved rate tracks the target until the sink itself becomes the
+// bottleneck.
+func (r *Replay) Run(d time.Duration, sink BatchSink) (injected uint64, achieved float64) {
+	if len(r.Peers) == 0 || r.Rate <= 0 || d <= 0 {
+		return 0, 0
+	}
+	batch := r.Batch
+	if batch <= 0 {
+		batch = 64
+	}
+	gen := r.Gen
+	if gen == nil {
+		shared := []float64{1}
+		gen = func(int) tuple.Raw { return tuple.Raw{Vals: shared} }
+	}
+	newBatch := r.NewBatch
+	if newBatch == nil {
+		newBatch = func(n int) []tuple.Raw { return make([]tuple.Raw, 0, n) }
+	}
+	now := r.Now
+	if now == nil {
+		now = time.Now
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	start := now()
+	deadline := start.Add(d)
+	next := 0
+	for {
+		t := now()
+		if !t.Before(deadline) {
+			break
+		}
+		target := uint64(r.Rate * t.Sub(start).Seconds())
+		if injected >= target {
+			// Ahead of the rate line: sleep until the next batch is due,
+			// bounded so the loop stays responsive to the deadline.
+			wait := time.Duration(float64(batch) / r.Rate * float64(time.Second))
+			if wait > time.Millisecond {
+				wait = time.Millisecond
+			}
+			sleep(wait)
+			continue
+		}
+		n := target - injected
+		if n > uint64(batch) {
+			n = uint64(batch)
+		}
+		peer := r.Peers[next%len(r.Peers)]
+		next++
+		raws := newBatch(int(n))
+		for i := uint64(0); i < n; i++ {
+			raws = append(raws, gen(peer))
+		}
+		sink(peer, raws)
+		injected += n
+	}
+	if total := now().Sub(start).Seconds(); total > 0 {
+		achieved = float64(injected) / total
+	}
+	return injected, achieved
+}
+
+// Trial runs one load trial at an aggregate rate (tuples/s) and reports
+// whether the system stayed healthy — kept reporting windows at acceptable
+// completeness and absorbed the offered rate.
+type Trial func(rate float64) bool
+
+// FindMaxRate locates the maximum sustainable rate: double from start
+// until a trial fails (at most maxDoublings doublings), then binary-search
+// the pass/fail boundary with steps refinement trials. It returns the
+// highest rate that passed, or 0 if start itself failed. Trials at higher
+// rates are assumed to fail once one has — the saturation curve is
+// monotone over the few-second horizons a trial measures.
+func FindMaxRate(start float64, maxDoublings, steps int, trial Trial) float64 {
+	if start <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, start
+	for i := 0; i <= maxDoublings; i++ {
+		if !trial(hi) {
+			break
+		}
+		lo = hi
+		hi *= 2
+	}
+	if lo == 0 {
+		return 0
+	}
+	if lo == hi {
+		return lo
+	}
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		if trial(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,5 +1,5 @@
 // Command benchcompare gates CI on benchmark regressions. It reads
-// `go test -json -bench` outputs and applies two independent gates:
+// `go test -json -bench` outputs and applies three independent gates:
 //
 //   - ratio gate (-old + -new + -match): extracts ns/op per benchmark from
 //     the previous run's artifact and the current run's, and fails when any
@@ -8,16 +8,23 @@
 //     -benchmem output) in the current run alone and fails when any
 //     benchmark matching -alloc-match allocates more than -max-allocs per
 //     op — the absolute zero-allocation contract on the hot wire paths,
-//     which needs no baseline artifact.
+//     which needs no baseline artifact;
+//   - throughput gate (-old + -new + -metric + -metric-match): compares a
+//     custom higher-is-better metric emitted via b.ReportMetric (e.g.
+//     "tuples/s") and fails when any benchmark matching -metric-match fell
+//     below -min-ratio of the previous run.
 //
-// Multiple samples of one benchmark (-count > 1) collapse to their
-// per-metric minimum — the least-noise estimate of the true cost, the
-// standard trick for comparing runs on shared CI hardware.
+// Multiple samples of one benchmark (-count > 1) collapse per metric:
+// cost-like metrics (ns/op, B/op, allocs/op) to their minimum and custom
+// metrics to both extremes, with the throughput gate comparing maxima —
+// in each case the least-noise estimate of the machine's true capability,
+// the standard trick for comparing runs on shared CI hardware.
 //
 // Usage:
 //
 //	benchcompare -old prev.json -new now.json -match 'BenchmarkWire|BenchmarkNetrtHeartbeat' -max-ratio 1.25
 //	benchcompare -new now.json -alloc-match 'BenchmarkWireEncodeHeartbeat$' -max-allocs 0
+//	benchcompare -old prev.json -new now.json -metric tuples/s -metric-match 'BenchmarkSaturation' -min-ratio 0.8
 package main
 
 import (
@@ -39,26 +46,54 @@ type event struct {
 	Output string `json:"Output"`
 }
 
-// result holds one benchmark's metrics, each the minimum across samples.
-// Bop and Allocs are -1 until a -benchmem line reports them.
+// metricRange holds both extremes of a custom metric across samples: which
+// one is the least-noise estimate depends on the metric's direction, so
+// load keeps both and the gates choose.
+type metricRange struct {
+	Min, Max float64
+}
+
+// result holds one benchmark's metrics. The cost metrics (Ns, Bop, Allocs)
+// are minima across samples; Bop and Allocs are -1 until a -benchmem line
+// reports them. Extra carries custom b.ReportMetric values (unit → range),
+// e.g. "tuples/s".
 type result struct {
 	Ns     float64
 	Bop    float64
 	Allocs float64
+	Extra  map[string]metricRange
 }
 
-// benchLine matches a benchmark result line inside an output event:
-// name (with the -GOMAXPROCS suffix), iteration count, ns/op, and — when
-// the run used -benchmem — B/op and allocs/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+// lineStart matches a benchmark result line inside an output event: name
+// (with the -GOMAXPROCS suffix) and iteration count, leaving the
+// value/unit pairs for parsePairs.
+var lineStart = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)`)
 
-// bareLine matches a result whose name test2json emitted in a previous
+// bareStart matches a result whose name test2json emitted in a previous
 // event (the stream sometimes splits "BenchmarkX \t" and "100\t... ns/op"
 // across events, carrying the name only in the Test field).
-var bareLine = regexp.MustCompile(`^\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+var bareStart = regexp.MustCompile(`^\d+\s+(.*)`)
 
-// load reads a -json bench stream and returns per-benchmark metrics, each
-// the minimum across samples.
+// parsePairs splits a benchmark line's tail into value/unit pairs
+// ("52.1 ns/op 0 B/op 0 allocs/op 123 tuples/s" and the like). A tail
+// without a parseable ns/op pair is not a benchmark result.
+func parsePairs(rest string) (map[string]float64, bool) {
+	fields := strings.Fields(rest)
+	m := map[string]float64{}
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return nil, false
+		}
+		m[fields[i+1]] = v
+	}
+	if _, ok := m["ns/op"]; !ok {
+		return nil, false
+	}
+	return m, true
+}
+
+// load reads a -json bench stream and returns per-benchmark metrics.
 func load(path string) (map[string]*result, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -66,27 +101,45 @@ func load(path string) (map[string]*result, error) {
 	}
 	defer f.Close()
 	out := map[string]*result{}
-	record := func(name, nsText, bopText, allocText string) {
-		ns, err := strconv.ParseFloat(nsText, 64)
-		if err != nil || name == "" {
+	record := func(name string, pairs map[string]float64) {
+		if name == "" {
 			return
 		}
 		name = strings.Split(name, "-")[0] // drop any -GOMAXPROCS suffix
 		r, ok := out[name]
 		if !ok {
-			r = &result{Ns: ns, Bop: -1, Allocs: -1}
+			r = &result{Ns: pairs["ns/op"], Bop: -1, Allocs: -1}
 			out[name] = r
-		} else if ns < r.Ns {
+		} else if ns := pairs["ns/op"]; ns < r.Ns {
 			r.Ns = ns
 		}
-		if bopText != "" {
-			if bop, err := strconv.ParseFloat(bopText, 64); err == nil && (r.Bop < 0 || bop < r.Bop) {
-				r.Bop = bop
-			}
-		}
-		if allocText != "" {
-			if al, err := strconv.ParseFloat(allocText, 64); err == nil && (r.Allocs < 0 || al < r.Allocs) {
-				r.Allocs = al
+		for unit, v := range pairs {
+			switch unit {
+			case "ns/op":
+			case "B/op":
+				if r.Bop < 0 || v < r.Bop {
+					r.Bop = v
+				}
+			case "allocs/op":
+				if r.Allocs < 0 || v < r.Allocs {
+					r.Allocs = v
+				}
+			default:
+				if r.Extra == nil {
+					r.Extra = map[string]metricRange{}
+				}
+				mr, seen := r.Extra[unit]
+				if !seen {
+					mr = metricRange{Min: v, Max: v}
+				} else {
+					if v < mr.Min {
+						mr.Min = v
+					}
+					if v > mr.Max {
+						mr.Max = v
+					}
+				}
+				r.Extra[unit] = mr
 			}
 		}
 	}
@@ -107,34 +160,84 @@ func load(path string) (map[string]*result, error) {
 			continue
 		}
 		text := strings.TrimSpace(ev.Output)
-		if m := benchLine.FindStringSubmatch(text); m != nil {
-			record(m[1], m[2], m[3], m[4])
-			lastName = ""
-			continue
+		if m := lineStart.FindStringSubmatch(text); m != nil {
+			if pairs, ok := parsePairs(m[2]); ok {
+				record(m[1], pairs)
+				lastName = ""
+				continue
+			}
 		}
 		if ev.Test != "" {
 			lastName = ev.Test
 		} else if strings.HasPrefix(text, "Benchmark") && strings.Fields(text) != nil {
 			lastName = strings.Fields(text)[0]
 		}
-		if m := bareLine.FindStringSubmatch(text); m != nil {
-			name := ev.Test
-			if name == "" {
-				name = lastName
+		if m := bareStart.FindStringSubmatch(text); m != nil {
+			if pairs, ok := parsePairs(m[1]); ok {
+				name := ev.Test
+				if name == "" {
+					name = lastName
+				}
+				record(name, pairs)
 			}
-			record(name, m[1], m[2], m[3])
 		}
 	}
 	return out, sc.Err()
 }
 
+// metricGate applies the higher-is-better throughput gate: every benchmark
+// present in both runs and matching filter must hold its custom metric at
+// >= minRatio of the old run's value (comparing per-run maxima). It returns
+// the per-benchmark report lines, whether any gate failed, and a fatal
+// configuration error ("dead gate") when no benchmark qualifies.
+func metricGate(oldRes, newRes map[string]*result, unit string, filter *regexp.Regexp, minRatio float64) (lines []string, failed bool, fatal string) {
+	names := make([]string, 0, len(newRes))
+	for name, r := range newRes {
+		if !filter.MatchString(name) {
+			continue
+		}
+		if _, ok := r.Extra[unit]; !ok {
+			continue
+		}
+		if o, ok := oldRes[name]; ok {
+			if _, ok := o.Extra[unit]; ok {
+				names = append(names, name)
+			}
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, false, fmt.Sprintf("no overlapping benchmarks report %q and match %q", unit, filter)
+	}
+	for _, name := range names {
+		oldV := oldRes[name].Extra[unit].Max
+		newV := newRes[name].Extra[unit].Max
+		if oldV <= 0 {
+			// A zero baseline carries no signal; report it but never divide.
+			lines = append(lines, fmt.Sprintf("%-44s %14.0f -> %14.0f %s  (zero baseline)  ok", name, oldV, newV, unit))
+			continue
+		}
+		ratio := newV / oldV
+		verdict := "ok"
+		if ratio < minRatio {
+			verdict = "REGRESSED"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%-44s %14.0f -> %14.0f %s  (%.2fx)  %s", name, oldV, newV, unit, ratio, verdict))
+	}
+	return lines, failed, ""
+}
+
 func main() {
-	oldPath := flag.String("old", "", "previous run's bench output (test2json stream); enables the ratio gate")
+	oldPath := flag.String("old", "", "previous run's bench output (test2json stream); enables the ratio and throughput gates")
 	newPath := flag.String("new", "", "current run's bench output")
 	match := flag.String("match", ".*", "regexp of benchmark names the ratio gate applies to")
 	maxRatio := flag.Float64("max-ratio", 1.25, "fail when new/old ns/op exceeds this for any ratio-gated benchmark")
 	allocMatch := flag.String("alloc-match", "", "regexp of benchmark names the absolute allocation gate applies to (needs -benchmem output)")
 	maxAllocs := flag.Float64("max-allocs", 0, "fail when allocs/op exceeds this for any alloc-gated benchmark")
+	metric := flag.String("metric", "", "custom higher-is-better metric unit (e.g. tuples/s); enables the throughput gate (needs -old)")
+	metricMatch := flag.String("metric-match", "", "regexp of benchmark names the throughput gate applies to")
+	minRatio := flag.Float64("min-ratio", 0.8, "fail when new/old of -metric falls below this for any throughput-gated benchmark")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
@@ -142,6 +245,10 @@ func main() {
 	}
 	if *oldPath == "" && *allocMatch == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: nothing to gate — pass -old (ratio gate) and/or -alloc-match (allocation gate)")
+		os.Exit(2)
+	}
+	if *metric != "" && (*oldPath == "" || *metricMatch == "") {
+		fmt.Fprintln(os.Stderr, "benchcompare: -metric needs both -old and -metric-match")
 		os.Exit(2)
 	}
 	newRes, err := load(*newPath)
@@ -157,15 +264,21 @@ func main() {
 	}
 
 	failed := false
+	var oldRes map[string]*result
 	if *oldPath != "" {
+		oldRes, err = load(*oldPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// The ratio gate runs whenever a baseline exists, unless the caller
+	// invoked benchcompare purely as a throughput gate (-metric set, -match
+	// left at its default).
+	if *oldPath != "" && (*metric == "" || flagWasSet("match")) {
 		filter, err := regexp.Compile(*match)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchcompare: bad -match: %v\n", err)
-			os.Exit(2)
-		}
-		oldRes, err := load(*oldPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 			os.Exit(2)
 		}
 		names := make([]string, 0, len(newRes))
@@ -231,8 +344,37 @@ func main() {
 		}
 	}
 
+	if *metric != "" {
+		filter, err := regexp.Compile(*metricMatch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcompare: bad -metric-match: %v\n", err)
+			os.Exit(2)
+		}
+		lines, metricFailed, fatal := metricGate(oldRes, newRes, *metric, filter, *minRatio)
+		if fatal != "" {
+			fmt.Fprintf(os.Stderr, "benchcompare: %s\n", fatal)
+			os.Exit(2)
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		failed = failed || metricFailed
+	}
+
 	if failed {
 		fmt.Fprintln(os.Stderr, "benchcompare: gate failed")
 		os.Exit(1)
 	}
+}
+
+// flagWasSet reports whether a flag was passed explicitly on the command
+// line (as opposed to holding its default value).
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"testing"
 )
 
@@ -42,6 +43,66 @@ func TestLoadParsesBenchStream(t *testing.T) {
 	}
 	if send.Allocs != -1 {
 		t.Fatalf("allocs without -benchmem = %v, want -1 sentinel", send.Allocs)
+	}
+}
+
+func TestLoadParsesCustomMetrics(t *testing.T) {
+	path := write(t, "bench.json", `
+{"Action":"output","Output":"BenchmarkSaturationReplay-8 \t 1\t 3.1e9 ns/op\t 5200000 batched-tuples/s\t 2300000 pertuple-tuples/s\n"}
+{"Action":"output","Output":"BenchmarkSaturationReplay-8 \t 1\t 3.0e9 ns/op\t 4800000 batched-tuples/s\t 2500000 pertuple-tuples/s\n"}
+`)
+	res, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["BenchmarkSaturationReplay"]
+	if !ok {
+		t.Fatalf("missing benchmark: %v", res)
+	}
+	mr, ok := r.Extra["batched-tuples/s"]
+	if !ok {
+		t.Fatalf("missing custom metric: %+v", r)
+	}
+	if mr.Min != 4800000 || mr.Max != 5200000 {
+		t.Fatalf("batched range = %+v, want [4800000, 5200000]", mr)
+	}
+	if got := r.Extra["pertuple-tuples/s"]; got.Max != 2500000 {
+		t.Fatalf("pertuple max = %v, want 2500000", got.Max)
+	}
+	if r.Ns != 3.0e9 {
+		t.Fatalf("ns/op = %v, want min 3.0e9", r.Ns)
+	}
+}
+
+func TestMetricGateHigherIsBetter(t *testing.T) {
+	mk := func(v float64) map[string]*result {
+		return map[string]*result{
+			"BenchmarkSaturationReplay": {Ns: 1, Extra: map[string]metricRange{
+				"batched-tuples/s": {Min: v, Max: v},
+			}},
+		}
+	}
+	filter := regexp.MustCompile("BenchmarkSaturation")
+
+	// Holding or improving throughput passes.
+	if _, failed, fatal := metricGate(mk(100), mk(95), "batched-tuples/s", filter, 0.8); failed || fatal != "" {
+		t.Fatalf("5%% dip under a 0.8 floor must pass (failed=%v fatal=%q)", failed, fatal)
+	}
+	// Falling below the floor fails.
+	lines, failed, fatal := metricGate(mk(100), mk(70), "batched-tuples/s", filter, 0.8)
+	if !failed || fatal != "" {
+		t.Fatalf("30%% drop must fail (failed=%v fatal=%q, lines=%v)", failed, fatal, lines)
+	}
+	// A gate matching nothing is a misconfiguration, not a pass.
+	if _, _, fatal := metricGate(mk(100), mk(100), "no-such-metric", filter, 0.8); fatal == "" {
+		t.Fatal("unknown metric must be fatal, not a silent pass")
+	}
+	if _, _, fatal := metricGate(mk(100), mk(100), "batched-tuples/s", regexp.MustCompile("BenchmarkRenamed"), 0.8); fatal == "" {
+		t.Fatal("zero-overlap filter must be fatal, not a silent pass")
+	}
+	// A zero baseline reports but never fails (and never divides by zero).
+	if _, failed, fatal := metricGate(mk(0), mk(100), "batched-tuples/s", filter, 0.8); failed || fatal != "" {
+		t.Fatalf("zero baseline must pass with a note (failed=%v fatal=%q)", failed, fatal)
 	}
 }
 
