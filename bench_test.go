@@ -952,3 +952,96 @@ func BenchmarkSaturationReplay(b *testing.B) {
 	}
 	b.Logf("saturation: batched %.0f tuples/s, per-tuple %.0f tuples/s", batched, perTuple)
 }
+
+// BenchmarkMultiHopCoalescing measures what the upstream staging path
+// (hold-and-merge plus wire-v4 envelope batches) saves on a deep overlay
+// over real sockets: 64 peers in bf-4 trees (three hops leaf to root),
+// three co-hosted tenant queries planned onto the same trees — the
+// multi-tenant shape where one next-hop receives several summaries per
+// window. The same federation runs with staging on and with the
+// send-immediately ablation; the bench reports the per-query-window
+// summary byte cost (summary-bytes/window, lower is better, gated in CI
+// against the previous run) and the frame reduction, and fails outright
+// if coalescing moves less than 3x fewer data frames — the tentpole's
+// headline claim.
+func BenchmarkMultiHopCoalescing(b *testing.B) {
+	const (
+		peers   = 64
+		bf      = 4
+		trees   = 2
+		tenants = 3
+		slide   = 250 * time.Millisecond
+		warmup  = 1500 * time.Millisecond
+		measure = 3 * time.Second
+	)
+	run := func(hold time.Duration) (frames, bytes uint64) {
+		hosts := make([]int, peers)
+		for i := range hosts {
+			hosts[i] = i
+		}
+		rts, _, err := netrt.NewGroup([][]int{hosts}, netrt.Options{Seed: 7, PeersPerSocket: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rt := rts[0]
+		defer rt.Shutdown()
+		cfg := mortar.DefaultConfig()
+		cfg.HeartbeatPeriod = 500 * time.Millisecond
+		cfg.SummaryHold = hold
+		fab, err := mortar.NewFabric(rt, nil, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		coords := randomPoints(peers, rng)
+		for q := 0; q < tenants; q++ {
+			meta := mortar.QueryMeta{
+				Name:      fmt.Sprintf("mh%d", q),
+				Seq:       1,
+				OpName:    "sum",
+				Window:    tuple.WindowSpec{Kind: tuple.TimeWindow, Range: slide, Slide: slide},
+				Root:      0,
+				IssuedSim: rt.Clock(0).Now(),
+			}
+			// One pinned planning rng per query: identical trees, so
+			// co-hosted tenants share next-hops (their summaries can ride
+			// one frame) exactly as a shared-plan serving deployment does.
+			def, err := fab.CompileWith(meta, nil, coords, bf, trees, rand.New(rand.NewSource(42)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := fab.Install(0, def); err != nil {
+				b.Fatal(err)
+			}
+		}
+		vals := []float64{1}
+		for i := 0; i < peers; i++ {
+			i := i
+			rt.Clock(i).Every(100*time.Millisecond, func() {
+				fab.Inject(i, tuple.Raw{Vals: vals})
+			})
+		}
+		time.Sleep(warmup)
+		f0, b0 := fab.Stats.DataFrames.Load(), fab.Stats.DataBytes.Load()
+		time.Sleep(measure)
+		return fab.Stats.DataFrames.Load() - f0, fab.Stats.DataBytes.Load() - b0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offFrames, _ := run(-1)
+		onFrames, onBytes := run(100 * time.Millisecond)
+		if onFrames == 0 || offFrames == 0 {
+			b.Fatalf("no data frames measured: on=%d off=%d", onFrames, offFrames)
+		}
+		windows := float64(tenants) * measure.Seconds() / slide.Seconds()
+		ratio := float64(offFrames) / float64(onFrames)
+		b.ReportMetric(float64(onBytes)/windows, "summary-bytes/window")
+		b.ReportMetric(ratio, "frame-reduction-x")
+		b.Logf("multi-hop: %d frames unstaged, %d staged (%.1fx), %.0f summary bytes/window",
+			offFrames, onFrames, ratio, float64(onBytes)/windows)
+		if ratio < 3 {
+			b.Fatalf("coalescing reduced frames only %.2fx over %d hops, want >= 3x", ratio, 3)
+		}
+	}
+}

@@ -406,6 +406,13 @@ func printDataPathStats(fab *mortar.Fabric, peakRate float64) {
 	fmt.Printf("# data path: tuples=%d batches=%d ts_inserts=%d ts_merges=%d peak_rate=%.0f tuples/s\n",
 		fab.Stats.TuplesIngested.Load(), fab.Stats.IngestBatches.Load(),
 		fab.DataPath.Inserts.Load(), fab.DataPath.Merges.Load(), peakRate)
+	staged := fab.Stats.SummariesStaged.Load()
+	coalesced := fab.Stats.SummariesCoalesced.Load()
+	batchFrames := fab.Stats.BatchFrames.Load()
+	batched := fab.Stats.BatchedSummaries.Load()
+	fmt.Printf("# summary path: staged=%d coalesced=%d data_frames=%d batch_frames=%d batched=%d frames_saved=%d\n",
+		staged, coalesced, fab.Stats.DataFrames.Load(), batchFrames, batched,
+		coalesced+batched-batchFrames)
 }
 
 // startReplanMonitor arms drift-triggered live replanning, logging every

@@ -200,7 +200,15 @@ func gossipedCoords(rt runtime.Runtime, n int) []cluster.Point {
 // recovered peers do. Only the coordinator — the process hosting the query
 // roots — runs NewRuntime.
 func NewWorker(rt runtime.Runtime) (*Federation, error) {
-	fab, err := mortar.NewFabric(rt, nil, mortar.DefaultConfig())
+	return NewWorkerCfg(rt, mortar.DefaultConfig())
+}
+
+// NewWorkerCfg is NewWorker with an explicit mortar configuration — how a
+// process still running an older release joins a federation: pinning
+// Config.WireCompat keeps its frames decodable by every peer while the
+// newer processes' frames remain decodable by it.
+func NewWorkerCfg(rt runtime.Runtime, cfg mortar.Config) (*Federation, error) {
+	fab, err := mortar.NewFabric(rt, nil, cfg)
 	if err != nil {
 		return nil, err
 	}

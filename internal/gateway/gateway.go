@@ -642,15 +642,24 @@ type classByteSource interface {
 // and per-query), the shared-mesh share, and — when the runtime reports it
 // — actual wire bytes by class.
 type Stats struct {
-	Peers          int         `json:"peers"`
-	Live           int         `json:"live"`
-	Queries        int         `json:"queries"`
-	CtlBytes       uint64      `json:"ctl_bytes"`
-	DataBytes      uint64      `json:"data_bytes"`
-	SharedCtlBytes uint64      `json:"shared_ctl_bytes"`
-	WireCtlBytes   uint64      `json:"wire_ctl_bytes,omitempty"`
-	WireDataBytes  uint64      `json:"wire_data_bytes,omitempty"`
-	PerQuery       []QueryInfo `json:"per_query"`
+	Peers          int    `json:"peers"`
+	Live           int    `json:"live"`
+	Queries        int    `json:"queries"`
+	CtlBytes       uint64 `json:"ctl_bytes"`
+	DataBytes      uint64 `json:"data_bytes"`
+	SharedCtlBytes uint64 `json:"shared_ctl_bytes"`
+	WireCtlBytes   uint64 `json:"wire_ctl_bytes,omitempty"`
+	WireDataBytes  uint64 `json:"wire_data_bytes,omitempty"`
+	// Upstream summary coalescing (hold-and-merge + wire-v4 batches).
+	// FramesSaved is the frames the feature avoided: summaries merged away
+	// in staging buffers plus summaries that shared a batch frame.
+	SummariesStaged    uint64      `json:"summaries_staged"`
+	SummariesCoalesced uint64      `json:"summaries_coalesced"`
+	DataFrames         uint64      `json:"data_frames"`
+	BatchFrames        uint64      `json:"batch_frames"`
+	BatchedSummaries   uint64      `json:"batched_summaries"`
+	FramesSaved        uint64      `json:"frames_saved"`
+	PerQuery           []QueryInfo `json:"per_query"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -661,8 +670,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CtlBytes:       fab.Stats.ControlBytes.Load(),
 		DataBytes:      fab.Stats.DataBytes.Load(),
 		SharedCtlBytes: fab.Stats.SharedCtlBytes.Load(),
-		PerQuery:       []QueryInfo{},
+
+		SummariesStaged:    fab.Stats.SummariesStaged.Load(),
+		SummariesCoalesced: fab.Stats.SummariesCoalesced.Load(),
+		DataFrames:         fab.Stats.DataFrames.Load(),
+		BatchFrames:        fab.Stats.BatchFrames.Load(),
+		BatchedSummaries:   fab.Stats.BatchedSummaries.Load(),
+
+		PerQuery: []QueryInfo{},
 	}
+	st.FramesSaved = st.SummariesCoalesced + st.BatchedSummaries - st.BatchFrames
 	if cb, ok := s.fed.Rt.(classByteSource); ok {
 		st.WireCtlBytes, st.WireDataBytes = cb.ClassBytes()
 	}

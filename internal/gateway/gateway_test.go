@@ -349,3 +349,38 @@ func TestStreamLifecycle(t *testing.T) {
 		t.Fatalf("list not empty after removal: %+v", list)
 	}
 }
+
+// The stats payload surfaces the upstream coalescing counters: after a few
+// windows of traffic the fabric must have staged summaries, and the
+// frames-saved figure must hold its defining identity against the raw
+// counters it derives from.
+func TestStatsReportsCoalescing(t *testing.T) {
+	_, _, ts := newTestPlane(t, 4, Options{})
+	if resp := install(t, ts, countSpec("q")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("install: %d", resp.StatusCode)
+	}
+	if got := readWindows(t, ts.URL+"/v1/queries/q/results?limit=3", 3); len(got) != 3 {
+		t.Fatalf("got %d windows before stats", len(got))
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.SummariesStaged == 0 {
+		t.Fatal("stats report zero staged summaries on a default (coalescing-on) plane")
+	}
+	if st.DataFrames == 0 {
+		t.Fatal("stats report zero data frames after three result windows")
+	}
+	if want := st.SummariesCoalesced + st.BatchedSummaries - st.BatchFrames; st.FramesSaved != want {
+		t.Fatalf("frames_saved = %d, want coalesced+batched-batch_frames = %d", st.FramesSaved, want)
+	}
+	if st.SummariesCoalesced+st.BatchedSummaries > st.SummariesStaged {
+		t.Fatalf("flushed population exceeds staged: %+v", st)
+	}
+}

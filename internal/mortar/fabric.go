@@ -73,6 +73,25 @@ type Config struct {
 	// backend) sizes components by encoded bytes from that bound instead,
 	// so every install message fits one Send.
 	InstallChunks int
+	// SummaryHold is how long an interior peer may park an upstream summary
+	// in its staging buffer waiting for merge partners and batchmates (see
+	// stage.go) — the bound on per-hop latency coalescing adds. Co-hosted
+	// queries' evictions cluster within milliseconds of each other, so a
+	// short hold captures most of the batching win without disturbing
+	// result phase. Zero picks the default (one hundredth of the heartbeat
+	// period); a negative value disables coalescing entirely, restoring
+	// the send-immediately path.
+	SummaryHold time.Duration
+	// SummaryBatchBytes is the staging buffer's flush threshold: a
+	// destination's parked summaries flush early once their estimated wire
+	// size reaches it. Capped against Transport.MaxFrame on bounded
+	// transports so a flushed batch always fits one frame.
+	SummaryBatchBytes int
+	// WireCompat pins the fabric's transmit wire version for rolling
+	// upgrades: wire.VersionNoBatch makes every frame decodable by v3
+	// peers (and disables summary coalescing, whose batches have no v3
+	// encoding). Zero means current (wire.Version).
+	WireCompat uint8
 }
 
 // DefaultConfig returns the paper's evaluation settings.
@@ -90,6 +109,8 @@ func DefaultConfig() Config {
 		MaxStage:            4,
 		Syncless:            true,
 		InstallChunks:       16,
+		SummaryHold:         20 * time.Millisecond,
+		SummaryBatchBytes:   1200,
 	}
 }
 
@@ -165,6 +186,22 @@ func (c Config) Validate() (Config, error) {
 	if c.InstallChunks < 0 {
 		return c, fmt.Errorf("mortar: InstallChunks %d must be positive", c.InstallChunks)
 	}
+	if c.SummaryHold == 0 {
+		c.SummaryHold = c.HeartbeatPeriod / 100
+	}
+	// Negative SummaryHold is a meaningful setting (coalescing off), not an
+	// error.
+	if c.SummaryBatchBytes == 0 {
+		c.SummaryBatchBytes = def.SummaryBatchBytes
+	}
+	if c.SummaryBatchBytes < 0 {
+		return c, fmt.Errorf("mortar: SummaryBatchBytes %d must be positive", c.SummaryBatchBytes)
+	}
+	switch c.WireCompat {
+	case 0, wire.VersionNoBatch, wire.Version:
+	default:
+		return c, fmt.Errorf("mortar: WireCompat %d is not an encodable wire version", c.WireCompat)
+	}
 	return c, nil
 }
 
@@ -209,6 +246,18 @@ type Stats struct {
 	// data-plane batching factor.
 	TuplesIngested atomic.Uint64
 	IngestBatches  atomic.Uint64
+	// Upstream coalescing (stage.go). SummariesStaged counts summaries that
+	// entered a staging buffer; SummariesCoalesced counts those that merged
+	// into an already-parked summary (frames and bytes that never existed).
+	// DataFrames counts data-class frames actually transmitted, BatchFrames
+	// the subset that were multi-summary envelope batches, and
+	// BatchedSummaries the summaries those batches carried. Frames saved by
+	// the feature = SummariesCoalesced + (BatchedSummaries - BatchFrames).
+	SummariesStaged    atomic.Uint64
+	SummariesCoalesced atomic.Uint64
+	DataFrames         atomic.Uint64
+	BatchFrames        atomic.Uint64
+	BatchedSummaries   atomic.Uint64
 }
 
 // QueryTraffic counts the bytes the local peers have transmitted on behalf
@@ -253,6 +302,13 @@ type Fabric struct {
 	// inside Send (runtime.FrameBytesConsumer), letting send recycle its
 	// encode buffer and frame immediately.
 	consumesBytes bool
+
+	// wireVer is the version byte every transmitted frame is stamped with
+	// (Config.WireCompat); staging enables the hold-and-merge summary path
+	// (stage.go), and batchBytes is its resolved flush threshold.
+	wireVer    byte
+	staging    bool
+	batchBytes int
 
 	subMu  sync.RWMutex
 	subs   []subEntry
@@ -321,6 +377,19 @@ func NewFabric(rt runtime.Runtime, clocks []vclock.Clock, cfg Config) (*Fabric, 
 	if bc, ok := f.tr.(runtime.FrameBytesConsumer); ok {
 		f.consumesBytes = bc.ConsumesFrameBytes()
 	}
+	f.wireVer = wire.Version
+	if cfg.WireCompat != 0 {
+		f.wireVer = cfg.WireCompat
+	}
+	f.batchBytes = cfg.SummaryBatchBytes
+	if mf := f.tr.MaxFrame(); mf > 0 && f.batchBytes > mf-mf/8 {
+		// Leave headroom for the key table and frame header: the threshold
+		// is checked before the entry that crosses it is encoded.
+		f.batchBytes = mf - mf/8
+	}
+	// Envelope batches exist only at the current wire version, so a
+	// compat-pinned fabric sends every summary the moment it routes.
+	f.staging = cfg.SummaryHold > 0 && f.wireVer >= wire.Version
 	vr, _ := rt.(vivaldiRuntime)
 	for i := 0; i < n; i++ {
 		ck := vclock.Perfect()
@@ -442,7 +511,7 @@ var framePool = sync.Pool{New: func() any { return new(runtime.Frame) }}
 // could never cross a real wire.
 func (f *Fabric) send(from, to int, class runtime.Class, payload any) {
 	w := wire.GetBuffer()
-	if err := wire.EncodeMessage(w, payload); err != nil {
+	if err := wire.EncodeMessageVersion(w, payload, f.wireVer); err != nil {
 		wire.PutBuffer(w)
 		f.Stats.Dropped.Add(1)
 		return
@@ -469,12 +538,26 @@ func (f *Fabric) account(payload any, class runtime.Class, size int) {
 	sz := uint64(size)
 	if class == runtime.ClassData {
 		f.Stats.DataBytes.Add(sz)
+		f.Stats.DataFrames.Add(1)
 	} else {
 		f.Stats.ControlBytes.Add(sz)
 	}
 	switch m := payload.(type) {
 	case *envelope:
 		f.queryTraffic(m.S.Query).DataBytes.Add(sz)
+	case *wire.EnvelopeBatch:
+		f.Stats.BatchFrames.Add(1)
+		f.Stats.BatchedSummaries.Add(uint64(len(m.Envelopes)))
+		// Split the frame's bytes evenly across the summaries it carries;
+		// the rounding remainder lands on the first entry's query.
+		per := sz / uint64(len(m.Envelopes))
+		for i := range m.Envelopes {
+			b := per
+			if i == 0 {
+				b += sz - per*uint64(len(m.Envelopes))
+			}
+			f.queryTraffic(m.Envelopes[i].S.Query).DataBytes.Add(b)
+		}
 	case msgInstall:
 		f.queryTraffic(m.Meta.Name).ControlBytes.Add(sz)
 	case msgRemove:

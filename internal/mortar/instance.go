@@ -19,6 +19,10 @@ type instance struct {
 	meta QueryMeta
 	op   ops.Operator
 	fin  ops.Finalizer // nil when the partial value is the final value
+	// combineIP is the operator's in-place combiner when it has one; the
+	// staging buffer uses it to fold a parked summary's value without
+	// allocating, provided the parked value is exclusively owned.
+	combineIP ops.InPlaceCombiner
 
 	// Tree position; zero until wired (install multicast carries it; peers
 	// adopted via reconciliation fetch it from the root topology service).
@@ -106,6 +110,9 @@ func (p *Peer) newInstance(meta QueryMeta) (*instance, error) {
 	if f, ok := op.(ops.Finalizer); ok {
 		inst.fin = f
 	}
+	if ip, ok := op.(ops.InPlaceCombiner); ok {
+		inst.combineIP = ip
+	}
 	// Time windows always produce slide-aligned indices, so TS-list
 	// entries never split and no value is ever shared between entries —
 	// the precondition for folding summaries into the entry's value in
@@ -185,6 +192,10 @@ func (inst *instance) beginDrain(drain time.Duration) {
 		inst.stallTick.Cancel()
 	}
 	p := inst.peer
+	// Retirement barrier: anything parked in the staging buffers leaves now,
+	// so the retiring epoch's last windows are in flight before its drain
+	// period starts counting.
+	p.flushStages()
 	key := instKey{name: inst.meta.Name, epoch: inst.meta.Epoch}
 	inst.drainTimer = p.rtc.After(drain, func() {
 		if cur, ok := p.insts[key]; ok && cur == inst {
@@ -537,7 +548,11 @@ func (inst *instance) evictExpired() {
 				inst.report(n, s)
 			}
 		} else {
-			inst.routeNew(s)
+			// Time-window entries never share values (slide-aligned indices,
+			// see newInstance), so an evicted value is exclusively this
+			// summary's; tuple-window splitting (cloneInterval) may leave the
+			// value shared with a live entry.
+			inst.routeNew(s, !tupleWin)
 		}
 		// The summary took its own Levels clone and the value travels on
 		// by reference; the entry shell goes back to the list's pool.
@@ -693,7 +708,9 @@ func (p *Peer) handleSummary(src int, env *envelope) {
 		// that duplicates delivery hands the same envelope (and Levels
 		// array) to this handler twice.
 		s.Levels = append([]int16(nil), s.Levels...)
-		inst.forward(s, env.Tree, env.TTLDown)
+		// The value still aliases the received envelope (a duplicate delivery
+		// would hand it to us again), so downstream must not mutate it.
+		inst.forward(s, env.Tree, env.TTLDown, false)
 		return
 	}
 	inst.observe(s, now)
@@ -704,8 +721,9 @@ func (p *Peer) handleSummary(src int, env *envelope) {
 
 // routeNew sends a freshly created (merged) summary toward the root,
 // striping across trees in round-robin order and falling back to the
-// staged policy when the preferred parent is unreachable.
-func (inst *instance) routeNew(s tuple.Summary) {
+// staged policy when the preferred parent is unreachable. owned reports
+// whether s.Value is exclusively the caller's (see stagedEnv.owned).
+func (inst *instance) routeNew(s tuple.Summary, owned bool) {
 	if !inst.wired {
 		inst.peer.fab.Stats.Dropped.Add(1)
 		return
@@ -721,11 +739,11 @@ func (inst *instance) routeNew(s tuple.Summary) {
 		inst.stripe = (t + 1) % d
 		pa := inst.nb.Parents[t]
 		if pa >= 0 && inst.peer.alive(pa) {
-			inst.send(s, t, pa, 0)
+			inst.send(s, t, pa, 0, owned)
 		} else if pa < 0 {
 			// This operator is the root on tree t but not overall; fall
 			// through to another tree to avoid self-delivery artifacts.
-			inst.forward(s, t, 0)
+			inst.forward(s, t, 0, owned)
 		} else {
 			inst.peer.fab.Stats.Dropped.Add(1)
 		}
@@ -739,18 +757,18 @@ func (inst *instance) routeNew(s tuple.Summary) {
 		pa := inst.nb.Parents[t]
 		if pa >= 0 && inst.peer.alive(pa) {
 			inst.stripe = (t + 1) % d
-			inst.send(s, t, pa, 0)
+			inst.send(s, t, pa, 0, owned)
 			return
 		}
 	}
 	// No live parent on any tree: let the staged policy explore downward.
-	inst.forward(s, -1, 0)
+	inst.forward(s, -1, 0, owned)
 }
 
 // forward applies the staged multipath routing policy (Figure 5) for a
 // tuple that arrived on tree `arrived` (-1 for locally created tuples with
-// no preferred tree).
-func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
+// no preferred tree). owned as in routeNew.
+func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8, owned bool) {
 	if !inst.wired {
 		inst.peer.fab.Stats.Dropped.Add(1)
 		return
@@ -775,7 +793,7 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 	}
 	// Stage 1 — same tree: route to P(t).
 	if arrived >= 0 && liveParent(arrived) {
-		inst.send(s, arrived, nb.Parents[arrived], ttlDown)
+		inst.send(s, arrived, nb.Parents[arrived], ttlDown, owned)
 		return
 	}
 	// Stage 2 — up*: a tree at least as close to the root as the arrival
@@ -788,7 +806,7 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 			}
 		}
 		if best >= 0 {
-			inst.send(s, best, nb.Parents[best], ttlDown)
+			inst.send(s, best, nb.Parents[best], ttlDown, owned)
 			return
 		}
 	}
@@ -802,7 +820,7 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 			}
 		}
 		if best >= 0 {
-			inst.send(s, best, nb.Parents[best], ttlDown)
+			inst.send(s, best, nb.Parents[best], ttlDown, owned)
 			return
 		}
 	}
@@ -815,7 +833,7 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 			for _, c := range nb.Children[t] {
 				if inst.peer.alive(c) {
 					inst.peer.fab.Stats.FlexDownHops.Add(1)
-					inst.send(s, t, c, ttlDown+1)
+					inst.send(s, t, c, ttlDown+1, owned)
 					return
 				}
 			}
@@ -825,11 +843,18 @@ func (inst *instance) forward(s tuple.Summary, arrived int, ttlDown uint8) {
 	inst.peer.fab.Stats.Dropped.Add(1)
 }
 
-// send transmits the summary on tree t, recording the level visited.
-func (inst *instance) send(s tuple.Summary, t, to int, ttlDown uint8) {
+// send transmits the summary on tree t, recording the level visited. With
+// coalescing enabled the summary parks in the peer's staging buffer
+// instead of leaving immediately (see stage.go); owned as in routeNew.
+func (inst *instance) send(s tuple.Summary, t, to int, ttlDown uint8, owned bool) {
 	if t < len(s.Levels) {
 		s.Levels[t] = int16(inst.nb.Levels[t])
 	}
-	env := &envelope{S: s, Tree: t, TTLDown: ttlDown, SentAt: inst.peer.now(), Epoch: inst.meta.Epoch}
-	inst.peer.fab.send(inst.peer.id, to, runtime.ClassData, env)
+	p := inst.peer
+	if p.fab.staging {
+		p.stageSummary(inst, s, t, to, ttlDown, owned)
+		return
+	}
+	env := &envelope{S: s, Tree: t, TTLDown: ttlDown, SentAt: p.now(), Epoch: inst.meta.Epoch}
+	p.fab.send(p.id, to, runtime.ClassData, env)
 }

@@ -51,6 +51,10 @@ type Peer struct {
 	// root.
 	pendingTopo map[instKey]bool
 
+	// stage holds summaries parked for coalescing, one buffer (with its own
+	// hold timer) per next-hop peer (stage.go).
+	stage map[int]*stageBuf
+
 	// nc is the peer's Vivaldi coordinate state on runtimes that run the
 	// decentralized protocol (runtime/netrt); nil elsewhere. The node is
 	// internally synchronized: the transport's receive path updates it
@@ -140,6 +144,11 @@ func (p *Peer) deliver(src int, payload any, size int) {
 	case *envelope:
 		p.markHeard(src)
 		p.handleSummary(src, m)
+	case *wire.EnvelopeBatch:
+		p.markHeard(src)
+		for i := range m.Envelopes {
+			p.handleSummary(src, &m.Envelopes[i])
+		}
 	case msgHeartbeat:
 		p.handleHeartbeat(src, m)
 	case msgInstall:

@@ -97,6 +97,16 @@ func init() {
 		}
 		return Bloom{Bits: bits, Hashes: hashes}, nil
 	})
+	Register("distinct", func(args []string) (Operator, error) {
+		m, err := intArg(args, 0, 256)
+		if err != nil {
+			return nil, err
+		}
+		if m < 16 || m&(m-1) != 0 {
+			return nil, fmt.Errorf("ops: distinct registers %d must be a power of two >= 16", m)
+		}
+		return Distinct{Registers: m}, nil
+	})
 	Register("quantile", func(args []string) (Operator, error) {
 		q, err := floatArg(args, 0, 0.5)
 		if err != nil {

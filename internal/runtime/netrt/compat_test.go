@@ -1,0 +1,66 @@
+package netrt_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/federation"
+	"repro/internal/mortar"
+	"repro/internal/msl"
+	"repro/internal/runtime/netrt"
+	"repro/internal/wire"
+)
+
+// A rolling upgrade leaves the federation version-mixed: one worker
+// process still sends the pre-batch v3 wire (single summary envelopes,
+// no staging) while the coordinator and the other worker run the v4
+// coalescing path. The query must reach full completeness anyway — v4
+// decoders accept v3 frames, and the v3 process's decoder (the shared
+// codec) accepts v4 batches — and the v4 side must actually exercise
+// batching while the pinned side never does.
+func TestMixedWireVersionFederation(t *testing.T) {
+	const peers = 12
+	prog, err := msl.Parse("query peers as count() from sensors window time 1s slide 1s trees 4 bf 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts, _, err := netrt.NewGroup([][]int{{0, 1, 2, 3}, {4, 5, 6, 7}, {8, 9, 10, 11}}, netrt.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1 is the straggler process: frames pinned to v3, staging off.
+	pinned := mortar.DefaultConfig()
+	pinned.WireCompat = wire.VersionNoBatch
+	w1, err := federation.NewWorkerCfg(rts[1], pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := federation.NewWorker(rts[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts[0].ProbeAll(3, 20*time.Millisecond)
+	coord, err := federation.NewRuntime(rts[0], prog, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := runFederations([]*federation.Federation{coord, w1, w2}, peers, func() {
+		for _, rt := range rts {
+			rt.Shutdown()
+		}
+	})
+	if best != peers {
+		t.Fatalf("mixed-version completeness %d of %d", best, peers)
+	}
+	if s := w1.Fab.Stats.SummariesStaged.Load(); s != 0 {
+		t.Fatalf("v3-pinned worker staged %d summaries", s)
+	}
+	if bf := w1.Fab.Stats.BatchFrames.Load(); bf != 0 {
+		t.Fatalf("v3-pinned worker sent %d batch frames", bf)
+	}
+	staged := coord.Fab.Stats.SummariesStaged.Load() + w2.Fab.Stats.SummariesStaged.Load()
+	if staged == 0 {
+		t.Fatal("v4 processes staged nothing — the coalescing path never ran")
+	}
+}

@@ -269,8 +269,12 @@ type Runtime struct {
 
 	// Per-class wire bytes transmitted (frame header + body, before
 	// fragmentation overhead): the split the serving plane reports so
-	// control-plane cost is observable per process (ClassBytes).
-	ctlBytes, dataBytes atomic.Uint64
+	// control-plane cost is observable per process (ClassBytes). The frame
+	// counts alongside them make upstream coalescing observable at the
+	// transport: with hold-and-merge on, DataFrames falls well below the
+	// summary count (see NetStats).
+	ctlBytes, dataBytes   atomic.Uint64
+	ctlFrames, dataFrames atomic.Uint64
 
 	// Datagram-level counters (see NetStats): datagrams actually written,
 	// coalesced trains among them, and the frames those trains carried.
@@ -491,6 +495,12 @@ type NetStats struct {
 	Trains      uint64
 	TrainFrames uint64
 	Sockets     int
+	// Per-class frame counts (a frame is one transport Send; a train packs
+	// several into one datagram). DataFrames is the number the upstream
+	// summary path's hold-and-merge coalescing drives down: merged and
+	// batched summaries share frames instead of taking one each.
+	CtlFrames  uint64
+	DataFrames uint64
 }
 
 // NetStats returns the datagram-level counters.
@@ -500,6 +510,8 @@ func (r *Runtime) NetStats() NetStats {
 		Trains:      r.trains.Load(),
 		TrainFrames: r.trainFrames.Load(),
 		Sockets:     len(r.socks),
+		CtlFrames:   r.ctlFrames.Load(),
+		DataFrames:  r.dataFrames.Load(),
 	}
 }
 
@@ -905,8 +917,10 @@ func (r *Runtime) Send(from, to int, class runtime.Class, size int, payload any)
 	}
 	if class == runtime.ClassData {
 		r.dataBytes.Add(uint64(w.Len()))
+		r.dataFrames.Add(1)
 	} else {
 		r.ctlBytes.Add(uint64(w.Len()))
+		r.ctlFrames.Add(1)
 	}
 	if w.Len() <= r.opt.MTU {
 		r.xmit(from, to, w.Bytes(), w, &r.sent, nil)
@@ -1217,17 +1231,22 @@ func (r *Runtime) deliverWire(peer, src int, frame []byte) {
 		r.dropped.Add(1)
 		return
 	}
-	if env, ok := msg.(*wire.Envelope); ok {
+	switch m := msg.(type) {
+	case *wire.Envelope:
 		// The envelope's SentAt was stamped against the sender's clock
 		// base, which a different process does not share. Rewrite it in
 		// the receiver's frame using the transport's measured one-way
 		// flight time — the peer derives exactly that from it (UdpCC
 		// measures RTT/2 at the transport, not via host timestamps).
-		flight := r.opt.DefaultLatency
-		if d, ok := r.Measured(peer, src); ok {
-			flight = d
+		m.SentAt = r.rewriteSentAt(peer, src)
+	case *wire.EnvelopeBatch:
+		// A batch shares one transmit stamp; every entry inherited it at
+		// decode, so all of them rewrite together.
+		sentAt := r.rewriteSentAt(peer, src)
+		m.SentAt = sentAt
+		for i := range m.Envelopes {
+			m.Envelopes[i].SentAt = sentAt
 		}
-		env.SentAt = time.Since(r.start) - flight
 	}
 	r.hmu.RLock()
 	h := r.hands[peer]
@@ -1244,6 +1263,16 @@ func (r *Runtime) deliverWire(peer, src int, frame []byte) {
 	} else {
 		r.dropped.Add(1)
 	}
+}
+
+// rewriteSentAt computes the receiver-frame transmit stamp for an arriving
+// summary: local time now minus the measured one-way flight to the sender.
+func (r *Runtime) rewriteSentAt(peer, src int) time.Duration {
+	flight := r.opt.DefaultLatency
+	if d, ok := r.Measured(peer, src); ok {
+		flight = d
+	}
+	return time.Since(r.start) - flight
 }
 
 // resendFragments answers a NACK at the original sender: the still-buffered

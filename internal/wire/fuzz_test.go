@@ -76,6 +76,10 @@ func FuzzDecodeQueryMeta(f *testing.F)    { fuzzDecoder(f, DecodeQueryMeta) }
 func FuzzDecodeNeighbors(f *testing.F)    { fuzzDecoder(f, DecodeNeighbors) }
 func FuzzDecodeInstallAck(f *testing.F)   { fuzzDecoder(f, DecodeInstallAck) }
 
+func FuzzDecodeEnvelopeBatch(f *testing.F) {
+	fuzzDecoder(f, DecodeEnvelopeBatch)
+}
+
 func FuzzDecodeSummary(f *testing.F) {
 	fuzzDecoder(f, func(r *Reader) (any, error) {
 		s, _, err := DecodeSummary(r)

@@ -37,7 +37,19 @@ import (
 // Version-2 frames decode with Epoch 0 (the only epoch that existed) and
 // with removals covering every epoch (a v2 remove was a whole-query
 // remove).
-const Version = 3
+//
+// Version 4 adds the EnvelopeBatch kind: N summaries bound for the same
+// next-hop peer in one frame, with a per-batch query key table and level
+// vectors delta-encoded against the batch's base vector. Every v3 payload
+// is byte-identical under v4 — the bump only gates the new kind — so v3
+// frames decode unchanged and EncodeMessageVersion can emit v3 frames for
+// rolling upgrades (it refuses batches, which have no v3 form).
+const Version = 4
+
+// VersionNoBatch is the wire format before multi-summary envelope batches
+// (no EnvelopeBatch kind; single envelopes only). Payloads of all other
+// kinds are identical to Version 4. Decoders still accept it.
+const VersionNoBatch = 3
 
 // VersionNoEpoch is the wire format before query epochs: no Epoch fields
 // anywhere and no InstallAck kind. Decoders still accept it.
@@ -55,15 +67,16 @@ const AllEpochs = ^uint32(0)
 
 // Message kind tags.
 const (
-	MsgEnvelope     = 1 // a summary tuple in flight (data plane)
-	MsgHeartbeat    = 2
-	MsgInstall      = 3
-	MsgRemove       = 4
-	MsgReconSummary = 5
-	MsgReconDefs    = 6
-	MsgTopoRequest  = 7
-	MsgTopoReply    = 8
-	MsgInstallAck   = 9 // a peer reports a wired epoch to the query root
+	MsgEnvelope      = 1 // a summary tuple in flight (data plane)
+	MsgHeartbeat     = 2
+	MsgInstall       = 3
+	MsgRemove        = 4
+	MsgReconSummary  = 5
+	MsgReconDefs     = 6
+	MsgTopoRequest   = 7
+	MsgTopoReply     = 8
+	MsgInstallAck    = 9  // a peer reports a wired epoch to the query root
+	MsgEnvelopeBatch = 10 // N summaries to one next hop in one frame (v4)
 )
 
 // QueryMeta is the part of a query definition every hosting peer keeps: the
@@ -252,6 +265,9 @@ func EncodeMessage(w *Buffer, msg any) error {
 	case *Envelope:
 		w.appendKind(MsgEnvelope)
 		return EncodeEnvelope(w, m)
+	case *EnvelopeBatch:
+		w.appendKind(MsgEnvelopeBatch)
+		return EncodeEnvelopeBatch(w, m)
 	case Heartbeat:
 		w.appendKind(MsgHeartbeat)
 		EncodeHeartbeat(w, m)
@@ -279,6 +295,30 @@ func EncodeMessage(w *Buffer, msg any) error {
 	default:
 		return fmt.Errorf("wire: unsupported message type %T", msg)
 	}
+	return nil
+}
+
+// EncodeMessageVersion appends a message frame carrying an explicit
+// version byte, for senders talking to peers that have not upgraded yet
+// (Config.WireCompat). Only VersionNoBatch is supported below the current
+// version — every other kind's payload is byte-identical between v3 and
+// v4, so the frame is re-stamped after a normal encode. Envelope batches
+// have no v3 form and are refused.
+func EncodeMessageVersion(w *Buffer, msg any, version byte) error {
+	if version == Version {
+		return EncodeMessage(w, msg)
+	}
+	if version != VersionNoBatch {
+		return fmt.Errorf("wire: cannot encode version %d frames", version)
+	}
+	if _, ok := msg.(*EnvelopeBatch); ok {
+		return fmt.Errorf("wire: envelope batch has no v%d encoding", version)
+	}
+	start := len(w.b)
+	if err := EncodeMessage(w, msg); err != nil {
+		return err
+	}
+	w.b[start] = version
 	return nil
 }
 
@@ -319,6 +359,14 @@ func DecodeMessage(b []byte) (any, error) {
 		msg, err = decodeTopoReplyVersion(r, v)
 	case MsgInstallAck:
 		msg, err = DecodeInstallAck(r)
+	case MsgEnvelopeBatch:
+		if v <= VersionNoBatch {
+			return nil, fmt.Errorf("wire: envelope batch in a v%d frame: %w", v, ErrCorrupt)
+		}
+		var b *EnvelopeBatch
+		if b, err = DecodeEnvelopeBatch(r); err == nil {
+			msg = b
+		}
 	default:
 		return nil, fmt.Errorf("wire: unknown message kind %d: %w", kind, ErrCorrupt)
 	}
@@ -364,7 +412,7 @@ func decodeEnvelopeVersion(r *Reader, v byte) (e Envelope, err error) {
 	if e.SentAt, err = r.Duration(); err != nil {
 		return
 	}
-	if v < Version {
+	if v <= VersionNoEpoch {
 		return
 	}
 	e.Epoch, err = r.epoch()
@@ -548,7 +596,7 @@ func decodeQueryMetaVersion(r *Reader, v byte) (m QueryMeta, err error) {
 	if m.Seq, err = r.Uvarint(); err != nil {
 		return
 	}
-	if v >= Version {
+	if v > VersionNoEpoch {
 		if m.Epoch, err = r.epoch(); err != nil {
 			return
 		}
@@ -779,7 +827,7 @@ func decodeRemoveVersion(r *Reader, v byte) (m Remove, err error) {
 		return
 	}
 	m.Epoch = AllEpochs
-	if v >= Version {
+	if v > VersionNoEpoch {
 		if m.Epoch, err = r.epoch(); err != nil {
 			return
 		}
@@ -831,7 +879,7 @@ func decodeInstalled(r *Reader, v byte) (map[QueryKey]uint64, error) {
 		if k.Name, err = r.String(); err != nil {
 			return nil, err
 		}
-		if v >= Version {
+		if v > VersionNoEpoch {
 			if k.Epoch, err = r.epoch(); err != nil {
 				return nil, err
 			}
@@ -892,7 +940,7 @@ func decodeRemovedMarks(r *Reader, v byte) (map[string][]RemovedMark, error) {
 		if err != nil {
 			return nil, err
 		}
-		if v < Version {
+		if v <= VersionNoEpoch {
 			seq, err := r.Uvarint()
 			if err != nil {
 				return nil, err
@@ -1003,7 +1051,7 @@ func decodeTopoRequestVersion(r *Reader, v byte) (m TopoRequest, err error) {
 	if m.Query, err = r.String(); err != nil {
 		return
 	}
-	if v >= Version {
+	if v > VersionNoEpoch {
 		if m.Epoch, err = r.epoch(); err != nil {
 			return
 		}
@@ -1034,7 +1082,7 @@ func decodeTopoReplyVersion(r *Reader, v byte) (m TopoReply, err error) {
 	if m.Query, err = r.String(); err != nil {
 		return
 	}
-	if v >= Version {
+	if v > VersionNoEpoch {
 		if m.Epoch, err = r.epoch(); err != nil {
 			return
 		}

@@ -52,6 +52,43 @@ func sampleMessages() []any {
 			SentAt:  123456 * time.Microsecond,
 			Epoch:   3,
 		},
+		&EnvelopeBatch{
+			SentAt: 2 * time.Second,
+			Envelopes: []Envelope{
+				{
+					S: tuple.Summary{
+						Query:  "cpu-sum",
+						Index:  tuple.Index{TB: time.Second, TE: 2 * time.Second},
+						Value:  float64(4),
+						Age:    40 * time.Millisecond,
+						Count:  3,
+						Hops:   1,
+						Levels: []int16{1, -1, 2, 0},
+					},
+					Tree: 0, TTLDown: 2, SentAt: 2 * time.Second, Epoch: 3,
+				},
+				{
+					S: tuple.Summary{
+						Query:  "cpu-sum",
+						Index:  tuple.Index{TB: 2 * time.Second, TE: 3 * time.Second},
+						Value:  float64(9),
+						Count:  1,
+						Levels: []int16{1, -1, 2, 0}, // identical to base: empty diff
+					},
+					Tree: 0, SentAt: 2 * time.Second, Epoch: 3,
+				},
+				{
+					S: tuple.Summary{
+						Query:    "mem-max",
+						Index:    tuple.Index{TB: time.Second, TE: 2 * time.Second},
+						Boundary: true, // boundary: nil value
+						Count:    1,
+						Levels:   []int16{0, 0}, // shorter than base, one diff
+					},
+					Tree: 1, TTLDown: 1, SentAt: 2 * time.Second, Epoch: 0,
+				},
+			},
+		},
 		Heartbeat{Seq: 300, Hash: 0xdeadbeefcafe},
 		Heartbeat{Seq: 1}, // no piggybacked hash
 		Heartbeat{Seq: 2, Coord: []float64{3.25, -1.5, 40}, CoordErr: 0.4},

@@ -9,22 +9,27 @@
 //     benchmark matching -alloc-match allocates more than -max-allocs per
 //     op — the absolute zero-allocation contract on the hot wire paths,
 //     which needs no baseline artifact;
-//   - throughput gate (-old + -new + -metric + -metric-match): compares a
-//     custom higher-is-better metric emitted via b.ReportMetric (e.g.
-//     "tuples/s") and fails when any benchmark matching -metric-match fell
-//     below -min-ratio of the previous run.
+//   - metric gate (-old + -new + -metric + -metric-match): compares a
+//     custom metric emitted via b.ReportMetric. With the default
+//     -metric-dir higher (throughput like "tuples/s") it fails when any
+//     benchmark matching -metric-match fell below -min-ratio of the
+//     previous run; with -metric-dir lower (cost like
+//     "summary-bytes/window") it fails when the metric grew beyond
+//     -max-ratio.
 //
 // Multiple samples of one benchmark (-count > 1) collapse per metric:
 // cost-like metrics (ns/op, B/op, allocs/op) to their minimum and custom
-// metrics to both extremes, with the throughput gate comparing maxima —
-// in each case the least-noise estimate of the machine's true capability,
-// the standard trick for comparing runs on shared CI hardware.
+// metrics to both extremes, with the metric gate comparing maxima for
+// higher-is-better metrics and minima for lower-is-better ones — in each
+// case the least-noise estimate of the machine's true capability, the
+// standard trick for comparing runs on shared CI hardware.
 //
 // Usage:
 //
 //	benchcompare -old prev.json -new now.json -match 'BenchmarkWire|BenchmarkNetrtHeartbeat' -max-ratio 1.25
 //	benchcompare -new now.json -alloc-match 'BenchmarkWireEncodeHeartbeat$' -max-allocs 0
 //	benchcompare -old prev.json -new now.json -metric tuples/s -metric-match 'BenchmarkSaturation' -min-ratio 0.8
+//	benchcompare -old prev.json -new now.json -metric summary-bytes/window -metric-dir lower -metric-match 'BenchmarkMultiHop' -max-ratio 1.25
 package main
 
 import (
@@ -185,12 +190,16 @@ func load(path string) (map[string]*result, error) {
 	return out, sc.Err()
 }
 
-// metricGate applies the higher-is-better throughput gate: every benchmark
-// present in both runs and matching filter must hold its custom metric at
-// >= minRatio of the old run's value (comparing per-run maxima). It returns
-// the per-benchmark report lines, whether any gate failed, and a fatal
+// metricGate applies the custom-metric gate in either direction: every
+// benchmark present in both runs and matching filter must hold its custom
+// metric within `limit` of the old run's value. For higher-is-better
+// metrics (throughput) the gate compares per-run maxima and fails when
+// new/old falls below limit; for lower-is-better metrics (bytes per
+// window, latency) it compares per-run minima — the least-noise estimate
+// in each direction — and fails when new/old exceeds limit. It returns the
+// per-benchmark report lines, whether any gate failed, and a fatal
 // configuration error ("dead gate") when no benchmark qualifies.
-func metricGate(oldRes, newRes map[string]*result, unit string, filter *regexp.Regexp, minRatio float64) (lines []string, failed bool, fatal string) {
+func metricGate(oldRes, newRes map[string]*result, unit string, filter *regexp.Regexp, limit float64, lower bool) (lines []string, failed bool, fatal string) {
 	names := make([]string, 0, len(newRes))
 	for name, r := range newRes {
 		if !filter.MatchString(name) {
@@ -210,8 +219,14 @@ func metricGate(oldRes, newRes map[string]*result, unit string, filter *regexp.R
 		return nil, false, fmt.Sprintf("no overlapping benchmarks report %q and match %q", unit, filter)
 	}
 	for _, name := range names {
-		oldV := oldRes[name].Extra[unit].Max
-		newV := newRes[name].Extra[unit].Max
+		var oldV, newV float64
+		if lower {
+			oldV = oldRes[name].Extra[unit].Min
+			newV = newRes[name].Extra[unit].Min
+		} else {
+			oldV = oldRes[name].Extra[unit].Max
+			newV = newRes[name].Extra[unit].Max
+		}
 		if oldV <= 0 {
 			// A zero baseline carries no signal; report it but never divide.
 			lines = append(lines, fmt.Sprintf("%-44s %14.0f -> %14.0f %s  (zero baseline)  ok", name, oldV, newV, unit))
@@ -219,7 +234,7 @@ func metricGate(oldRes, newRes map[string]*result, unit string, filter *regexp.R
 		}
 		ratio := newV / oldV
 		verdict := "ok"
-		if ratio < minRatio {
+		if (lower && ratio > limit) || (!lower && ratio < limit) {
 			verdict = "REGRESSED"
 			failed = true
 		}
@@ -235,9 +250,10 @@ func main() {
 	maxRatio := flag.Float64("max-ratio", 1.25, "fail when new/old ns/op exceeds this for any ratio-gated benchmark")
 	allocMatch := flag.String("alloc-match", "", "regexp of benchmark names the absolute allocation gate applies to (needs -benchmem output)")
 	maxAllocs := flag.Float64("max-allocs", 0, "fail when allocs/op exceeds this for any alloc-gated benchmark")
-	metric := flag.String("metric", "", "custom higher-is-better metric unit (e.g. tuples/s); enables the throughput gate (needs -old)")
-	metricMatch := flag.String("metric-match", "", "regexp of benchmark names the throughput gate applies to")
-	minRatio := flag.Float64("min-ratio", 0.8, "fail when new/old of -metric falls below this for any throughput-gated benchmark")
+	metric := flag.String("metric", "", "custom metric unit (e.g. tuples/s); enables the metric gate (needs -old)")
+	metricMatch := flag.String("metric-match", "", "regexp of benchmark names the metric gate applies to")
+	minRatio := flag.Float64("min-ratio", 0.8, "higher-is-better metrics: fail when new/old of -metric falls below this")
+	metricDir := flag.String("metric-dir", "higher", "direction of -metric: 'higher' is better (gate with -min-ratio) or 'lower' is better (gate with -max-ratio)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchcompare: -new is required")
@@ -249,6 +265,10 @@ func main() {
 	}
 	if *metric != "" && (*oldPath == "" || *metricMatch == "") {
 		fmt.Fprintln(os.Stderr, "benchcompare: -metric needs both -old and -metric-match")
+		os.Exit(2)
+	}
+	if *metricDir != "higher" && *metricDir != "lower" {
+		fmt.Fprintf(os.Stderr, "benchcompare: -metric-dir %q must be 'higher' or 'lower'\n", *metricDir)
 		os.Exit(2)
 	}
 	newRes, err := load(*newPath)
@@ -350,7 +370,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchcompare: bad -metric-match: %v\n", err)
 			os.Exit(2)
 		}
-		lines, metricFailed, fatal := metricGate(oldRes, newRes, *metric, filter, *minRatio)
+		lower := *metricDir == "lower"
+		limit := *minRatio
+		if lower {
+			limit = *maxRatio
+		}
+		lines, metricFailed, fatal := metricGate(oldRes, newRes, *metric, filter, limit, lower)
 		if fatal != "" {
 			fmt.Fprintf(os.Stderr, "benchcompare: %s\n", fatal)
 			os.Exit(2)

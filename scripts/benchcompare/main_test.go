@@ -85,24 +85,59 @@ func TestMetricGateHigherIsBetter(t *testing.T) {
 	filter := regexp.MustCompile("BenchmarkSaturation")
 
 	// Holding or improving throughput passes.
-	if _, failed, fatal := metricGate(mk(100), mk(95), "batched-tuples/s", filter, 0.8); failed || fatal != "" {
+	if _, failed, fatal := metricGate(mk(100), mk(95), "batched-tuples/s", filter, 0.8, false); failed || fatal != "" {
 		t.Fatalf("5%% dip under a 0.8 floor must pass (failed=%v fatal=%q)", failed, fatal)
 	}
 	// Falling below the floor fails.
-	lines, failed, fatal := metricGate(mk(100), mk(70), "batched-tuples/s", filter, 0.8)
+	lines, failed, fatal := metricGate(mk(100), mk(70), "batched-tuples/s", filter, 0.8, false)
 	if !failed || fatal != "" {
 		t.Fatalf("30%% drop must fail (failed=%v fatal=%q, lines=%v)", failed, fatal, lines)
 	}
 	// A gate matching nothing is a misconfiguration, not a pass.
-	if _, _, fatal := metricGate(mk(100), mk(100), "no-such-metric", filter, 0.8); fatal == "" {
+	if _, _, fatal := metricGate(mk(100), mk(100), "no-such-metric", filter, 0.8, false); fatal == "" {
 		t.Fatal("unknown metric must be fatal, not a silent pass")
 	}
-	if _, _, fatal := metricGate(mk(100), mk(100), "batched-tuples/s", regexp.MustCompile("BenchmarkRenamed"), 0.8); fatal == "" {
+	if _, _, fatal := metricGate(mk(100), mk(100), "batched-tuples/s", regexp.MustCompile("BenchmarkRenamed"), 0.8, false); fatal == "" {
 		t.Fatal("zero-overlap filter must be fatal, not a silent pass")
 	}
 	// A zero baseline reports but never fails (and never divides by zero).
-	if _, failed, fatal := metricGate(mk(0), mk(100), "batched-tuples/s", filter, 0.8); failed || fatal != "" {
+	if _, failed, fatal := metricGate(mk(0), mk(100), "batched-tuples/s", filter, 0.8, false); failed || fatal != "" {
 		t.Fatalf("zero baseline must pass with a note (failed=%v fatal=%q)", failed, fatal)
+	}
+}
+
+// The lower-is-better direction compares per-run minima and fails on
+// growth beyond the limit — the summary-bytes/window gate.
+func TestMetricGateLowerIsBetter(t *testing.T) {
+	mk := func(min, max float64) map[string]*result {
+		return map[string]*result{
+			"BenchmarkMultiHopSaturation": {Ns: 1, Extra: map[string]metricRange{
+				"summary-bytes/window": {Min: min, Max: max},
+			}},
+		}
+	}
+	filter := regexp.MustCompile("BenchmarkMultiHop")
+
+	// Holding or shrinking the cost passes.
+	if _, failed, fatal := metricGate(mk(1000, 1200), mk(900, 1100), "summary-bytes/window", filter, 1.25, true); failed || fatal != "" {
+		t.Fatalf("shrinking cost must pass (failed=%v fatal=%q)", failed, fatal)
+	}
+	// Growth within the ceiling passes.
+	if _, failed, fatal := metricGate(mk(1000, 1200), mk(1200, 1300), "summary-bytes/window", filter, 1.25, true); failed || fatal != "" {
+		t.Fatalf("20%% growth under a 1.25 ceiling must pass (failed=%v fatal=%q)", failed, fatal)
+	}
+	// Growth beyond the ceiling fails.
+	lines, failed, fatal := metricGate(mk(1000, 1200), mk(1400, 1500), "summary-bytes/window", filter, 1.25, true)
+	if !failed || fatal != "" {
+		t.Fatalf("40%% growth must fail (failed=%v fatal=%q, lines=%v)", failed, fatal, lines)
+	}
+	// The comparison uses minima: a noisy max spike must not fail the gate.
+	if _, failed, fatal := metricGate(mk(1000, 1200), mk(1000, 5000), "summary-bytes/window", filter, 1.25, true); failed || fatal != "" {
+		t.Fatalf("noisy max with held min must pass (failed=%v fatal=%q)", failed, fatal)
+	}
+	// Dead-gate detection is direction-independent.
+	if _, _, fatal := metricGate(mk(1000, 1000), mk(1000, 1000), "summary-bytes/window", regexp.MustCompile("BenchmarkRenamed"), 1.25, true); fatal == "" {
+		t.Fatal("zero-overlap filter must be fatal, not a silent pass")
 	}
 }
 
